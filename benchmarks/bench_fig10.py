@@ -1,0 +1,131 @@
+"""Fig. 10 — inside analysis of ALT-index.
+
+(a) Average ART lookup length with vs without fast pointers: the
+    shortcut skips the root-ward node traversals.
+(b) Fast pointer count with vs without the merge scheme.
+(c) Data distribution between the two layers: the learned layer absorbs
+    >50% of every dataset (>80% on libio).
+(d) Bulk-load time vs ALEX+ and LIPP+.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, get_dataset
+from repro.bench.runner import INDEX_FACTORIES
+from repro.core.alt_index import ALTIndex
+from repro.datasets import DATASET_NAMES
+from repro.workloads.generator import split_dataset
+
+
+@pytest.fixture(scope="module")
+def alt_indexes():
+    built = {}
+    for ds in DATASET_NAMES:
+        keys = get_dataset(ds)
+        split = split_dataset(keys, 0.5)
+        idx = ALTIndex.bulk_load(split.load_keys)
+        for k in split.insert_keys[: len(split.insert_keys) // 4]:
+            idx.insert(int(k), int(k))
+        built[ds] = (idx, split)
+    return built
+
+
+@pytest.mark.paper
+def test_fig10a_lookup_length(alt_indexes, report, benchmark):
+    rows = []
+    for ds, (idx, split) in alt_indexes.items():
+        art_keys = [k for k, _ in idx.art.items()][:400]
+        if not art_keys:
+            continue
+        with_ptr = np.mean([idx.art_path_length(k) for k in art_keys])
+        without = np.mean([idx.art.lookup_path_length(k) for k in art_keys])
+        rows.append(
+            {
+                "dataset": ds,
+                "avg_nodes_with_fastptr": round(float(with_ptr), 2),
+                "avg_nodes_from_root": round(float(without), 2),
+                "saved": round(float(without - with_ptr), 2),
+            }
+        )
+    report("Fig. 10a: ART lookup length with/without fast pointers", format_table(rows))
+    assert rows, "expected conflict data in ART"
+    for row in rows:
+        assert row["avg_nodes_with_fastptr"] <= row["avg_nodes_from_root"]
+    assert any(row["saved"] > 0.2 for row in rows)
+    ds, (idx, _) = next(iter(alt_indexes.items()))
+    some_key = next(iter(idx.art.items()))[0] if len(idx.art) else 1
+    benchmark(lambda: idx.art_path_length(some_key))
+
+
+@pytest.mark.paper
+def test_fig10b_merge_scheme(report, benchmark):
+    rows = []
+    for ds in DATASET_NAMES:
+        keys = get_dataset(ds)
+        split = split_dataset(keys, 0.5)
+        merged = ALTIndex.bulk_load(split.load_keys, merge_pointers=True)
+        raw = ALTIndex.bulk_load(split.load_keys, merge_pointers=False)
+        rows.append(
+            {
+                "dataset": ds,
+                "without_merge": len(raw.fast_pointers),
+                "with_merge": len(merged.fast_pointers),
+                "reduction": round(
+                    len(raw.fast_pointers) / max(len(merged.fast_pointers), 1), 1
+                ),
+            }
+        )
+    report("Fig. 10b: fast pointer count with/without merge", format_table(rows))
+    for row in rows:
+        assert row["with_merge"] <= row["without_merge"]
+    assert any(row["reduction"] >= 1.5 for row in rows)
+    benchmark(lambda: sum(r["with_merge"] for r in rows))
+
+
+@pytest.mark.paper
+def test_fig10c_layer_distribution(alt_indexes, report, benchmark):
+    rows = []
+    for ds, (idx, _) in alt_indexes.items():
+        s = idx.stats()
+        rows.append(
+            {
+                "dataset": ds,
+                "learned_keys": s["learned_keys"],
+                "art_keys": s["art_keys"],
+                "learned_fraction": round(s["learned_fraction"], 3),
+            }
+        )
+    report("Fig. 10c: data distribution across ALT-index layers", format_table(rows))
+    by = {r["dataset"]: r["learned_fraction"] for r in rows}
+    for ds, frac in by.items():
+        assert frac > 0.5, ds  # paper: >50% absorbed everywhere
+    assert by["libio"] > 0.8  # paper: >80% on libio
+    benchmark(lambda: by["libio"])
+
+
+@pytest.mark.paper
+def test_fig10d_bulkload_time(report, benchmark):
+    rows = []
+    for ds in ("libio", "osm"):
+        keys = get_dataset(ds)
+        load = split_dataset(keys, 0.5).load_keys
+        times = {}
+        for name in ("ALT-index", "ALEX+", "LIPP+"):
+            t0 = time.perf_counter()
+            INDEX_FACTORIES[name].bulk_load(load)
+            times[name] = time.perf_counter() - t0
+        rows.append({"dataset": ds} | {n: round(t, 3) for n, t in times.items()})
+    report("Fig. 10d: bulk-load wall-clock seconds", format_table(rows))
+    # Wall-clock Python build times carry interpreter constant factors
+    # the paper's C++ numbers don't; hold ALT to the same order of
+    # magnitude as the fastest builder (its GPL pass is O(n), which
+    # bench_fig4 verifies directly).
+    for row in rows:
+        fastest = min(row["ALT-index"], row["ALEX+"], row["LIPP+"])
+        assert row["ALT-index"] < fastest * 12
+    keys = get_dataset("libio")
+    load = split_dataset(keys, 0.5).load_keys[:20_000]
+    benchmark(lambda: ALTIndex.bulk_load(load))

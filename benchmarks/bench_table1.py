@@ -1,0 +1,80 @@
+"""Table I — throughput and P99.9 latency of the concurrent updatable
+learned indexes and ART on libio and osm, read-write-balanced, 32 threads.
+
+Paper's rows (200M keys, Mops / µs):
+
+=========  =======  ==========  =====
+index      dataset  throughput  P99.9
+=========  =======  ==========  =====
+ALEX+      libio    50.69       3.51
+ALEX+      osm      18.18       43.76
+LIPP+      libio    7.69        30.88
+LIPP+      osm      5.54        46.85
+FINEdex    libio    28.76       9.06
+FINEdex    osm      24.64       7.21
+XIndex     libio    27.56       6.59
+XIndex     osm      24.19       3.59
+ART        libio    48.81       5.37
+ART        osm      37.20       9.59
+=========  =======  ==========  =====
+
+Shapes that must reproduce: LIPP+ collapses (statistics-counter
+invalidation); ALEX+ carries the worst tail latency of the non-LIPP
+group; FINEdex and XIndex sit close together.
+"""
+
+import pytest
+
+from repro.bench import format_table, get_dataset, run_experiment
+from repro.bench.runner import INDEX_FACTORIES, base_ops
+from repro.workloads import BALANCED
+
+COMPETITORS = ["ALEX+", "LIPP+", "FINEdex", "XIndex", "ART"]
+
+
+@pytest.fixture(scope="module")
+def table1():
+    results = {}
+    for ds in ("libio", "osm"):
+        keys = get_dataset(ds)
+        for name in COMPETITORS:
+            results[(name, ds)] = run_experiment(
+                INDEX_FACTORIES[name], ds, keys, BALANCED, threads=32, n_ops=base_ops()
+            )
+    return results
+
+
+@pytest.mark.paper
+def test_table1_rows(table1, report, benchmark):
+    rows = [
+        {
+            "index": name,
+            "dataset": ds,
+            "throughput_mops": round(r.throughput_mops, 2),
+            "p999_us": round(r.p999_us, 2),
+            "conflicts": r.sim.conflicts,
+            "invalidations": r.sim.invalidation_misses,
+        }
+        for (name, ds), r in table1.items()
+    ]
+    report("Table I: competitor throughput/P99.9, balanced, 32 threads", format_table(rows))
+
+    by = {(name, ds): r for (name, ds), r in table1.items()}
+    # LIPP+ is the slowest on both datasets (root-counter invalidation).
+    for ds in ("libio", "osm"):
+        lipp = by[("LIPP+", ds)].throughput_mops
+        others = [by[(n, ds)].throughput_mops for n in COMPETITORS if n != "LIPP+"]
+        assert lipp < min(others), f"LIPP+ must collapse on {ds}"
+    # ALEX+ has the worst tail of the non-LIPP group.
+    for ds in ("libio", "osm"):
+        alex_tail = by[("ALEX+", ds)].p999_us
+        rest = [by[(n, ds)].p999_us for n in ("FINEdex", "XIndex", "ART")]
+        assert alex_tail > max(rest) * 0.9, f"ALEX+ tail must stand out on {ds}"
+    # FINEdex and XIndex are in the same performance class (within 2x).
+    for ds in ("libio", "osm"):
+        f = by[("FINEdex", ds)].throughput_mops
+        x = by[("XIndex", ds)].throughput_mops
+        assert 0.5 < f / x < 2.5
+
+    sample = by[("FINEdex", "libio")]
+    benchmark(lambda: sample.latency.p999_ns)

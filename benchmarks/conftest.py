@@ -1,0 +1,34 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+evaluation (Section IV).  The expensive part — building indexes, tracing
+workloads, simulating 32 virtual threads — runs **once** per experiment
+in a module-scoped fixture and prints a paper-style table; the
+``benchmark`` fixture then times a representative operation so
+pytest-benchmark's statistics remain meaningful without re-running whole
+experiment grids dozens of times.
+
+Scale control: set ``REPRO_SCALE`` (default 1 → 200K-key datasets,
+40K-op workloads).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import banner
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: regenerates a paper table/figure")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a titled section into the benchmark output."""
+
+    def _print(title: str, body: str) -> None:
+        print(banner(title))
+        print(body)
+
+    return _print

@@ -1,0 +1,72 @@
+"""Concurrency analysis: reproduce the core of the paper's argument on a
+single dataset — trace a balanced workload against ALT-index and the
+competitors, replay on the 32-virtual-thread simulator, and explain
+*why* each index performs the way it does (conflicts, invalidations,
+cache behaviour).
+
+Run:  python examples/concurrent_analysis.py [dataset] [n_keys]
+"""
+
+import sys
+
+from repro.bench import format_table, run_experiment
+from repro.bench.runner import INDEX_FACTORIES
+from repro.datasets import dataset
+from repro.workloads import BALANCED
+
+
+def main() -> None:
+    ds = sys.argv[1] if len(sys.argv) > 1 else "osm"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+    keys = dataset(ds, n, seed=0)
+    print(f"dataset={ds} keys={n:,}  workload=read-write-balanced  threads=32\n")
+
+    rows = []
+    results = {}
+    for name, cls in INDEX_FACTORIES.items():
+        r = run_experiment(cls, ds, keys, BALANCED, threads=32, n_ops=10_000)
+        results[name] = r
+        rows.append(
+            {
+                "index": name,
+                "mops": round(r.throughput_mops, 2),
+                "p999_us": round(r.p999_us, 2),
+                "hit_rate": round(r.sim.hit_rate, 3),
+                "conflicts": r.sim.conflicts,
+                "invalidations": r.sim.invalidation_misses,
+                "bg_ms": round(r.sim.background_ns / 1e6, 2),
+            }
+        )
+    print(format_table(rows))
+
+    print("\nreading the table:")
+    lipp = results["LIPP+"]
+    print(
+        f"- LIPP+ conflicts on {lipp.sim.conflicts:,} of "
+        f"{lipp.sim.total_ops:,} ops: every insert bumps statistics "
+        "counters on its whole descent path, so 32 threads fight over "
+        "the root's cache line (§II-B, Table I)."
+    )
+    alex = results["ALEX+"]
+    print(
+        f"- ALEX+ P99.9 = {alex.p999_us:.1f}us: data shifting writes "
+        "long runs of slots, and node splits serialize on the directory "
+        "(its Table I limitation)."
+    )
+    xi = results["XIndex"]
+    print(
+        f"- XIndex offloads {xi.sim.background_ns / 1e6:.1f}ms of "
+        "compaction to background threads, but pays the epsilon-bounded "
+        "secondary search on every read."
+    )
+    alt = results["ALT-index"]
+    print(
+        f"- ALT-index: {alt.index_stats['learned_fraction']:.0%} of keys "
+        "answer in one prediction with zero in-model search; the rest "
+        f"ride {alt.index_stats['fast_pointers']['pointers']} fast "
+        "pointers into ART subtrees."
+    )
+
+
+if __name__ == "__main__":
+    main()

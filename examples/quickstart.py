@@ -1,0 +1,58 @@
+"""Quickstart: build an ALT-index, run the basic operations, inspect it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ALTIndex, suggest_error_bound
+
+
+def main() -> None:
+    # 1. Sorted, duplicate-free uint64 keys (any source works; here a
+    #    synthetic near-linear id space like the paper's libio dataset).
+    rng = np.random.default_rng(42)
+    keys = np.sort(rng.choice(2**40, size=100_000, replace=False).astype(np.uint64))
+    print(f"bulk loading {len(keys):,} keys "
+          f"(suggested error bound = {suggest_error_bound(len(keys))})")
+
+    # 2. Bulk load. Epsilon defaults to the paper's N/1000 rule; linear
+    #    data lands in the learned layer, collision data in ART.
+    index = ALTIndex.bulk_load(keys)
+
+    # 3. Point lookups: one binary search + one linear prediction, never
+    #    an in-model secondary search.
+    k = int(keys[1234])
+    assert index.get(k) == k
+    print(f"get({k}) -> {index.get(k)}")
+
+    # 4. Inserts go to the predicted slot when free, otherwise to the
+    #    ART-OPT layer through the fast pointer buffer.
+    index.insert(k + 1, "hello")
+    print(f"insert({k + 1}); get -> {index.get(k + 1)!r}")
+
+    # 5. Updates and removals.
+    index.update(k + 1, "world")
+    assert index.get(k + 1) == "world"
+    index.remove(k + 1)
+    assert index.get(k + 1) is None
+
+    # 6. Range operations merge both layers in key order.
+    lo = int(keys[100])
+    window = index.scan(lo, 5)
+    print(f"scan({lo}, 5) -> {[key for key, _ in window]}")
+
+    # 7. Structure introspection (the paper's Fig. 10 quantities).
+    stats = index.stats()
+    print("\nindex anatomy:")
+    print(f"  GPL models:        {stats['model_count']}")
+    print(f"  learned-layer keys: {stats['learned_keys']:,} "
+          f"({stats['learned_fraction']:.1%})")
+    print(f"  ART-OPT keys:       {stats['art_keys']:,}")
+    print(f"  fast pointers:      {stats['fast_pointers']['pointers']} "
+          f"(merged from {stats['fast_pointers']['raw_pointers']})")
+    print(f"  modeled memory:     {stats['memory_bytes'] / 2**20:.2f} MiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP-517
+editable installs (which shell out to ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (or
+``python setup.py develop``) work with setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Adaptive Radix Tree (Leis et al., ICDE 2013) with optimistic lock coupling.
+
+This is the full substrate the paper's ART-OPT layer builds on:
+
+- four adaptive node types (Node4 / Node16 / Node48 / Node256) with
+  grow-on-overflow and shrink-on-underflow,
+- pessimistic path compression (each inner node stores its compressed
+  prefix inline) plus the paper's ``match_level`` field recording how many
+  key bytes are already matched above the node (§III-C2),
+- optimistic lock coupling concurrency (Leis et al. 2016) via
+  :class:`repro.concurrency.OptimisticLock`,
+- structure-modification notifications (node growth, prefix extraction,
+  path-compression merges) that the fast pointer buffer subscribes to so
+  its shortcuts never dangle (§III-C3),
+- ``search_from`` / ``insert_from`` entry points that start descent at an
+  intermediate node — the mechanism behind fast pointers.
+
+Keys are unsigned 64-bit integers, radix-ordered by their 8-byte
+big-endian encoding (which equals numeric order).
+"""
+
+from repro.art.nodes import Leaf, Node, Node4, Node16, Node48, Node256
+from repro.art.tree import AdaptiveRadixTree
+
+__all__ = [
+    "AdaptiveRadixTree",
+    "Leaf",
+    "Node",
+    "Node4",
+    "Node16",
+    "Node48",
+    "Node256",
+]

@@ -1,0 +1,345 @@
+"""ART node types: Leaf, Node4, Node16, Node48, Node256.
+
+Node sizes follow the C layout of the original paper (16-byte header +
+key/pointer arrays), so the modeled memory accounting matches what a C++
+ART would allocate:
+
+==========  =============================  ======
+node        layout                         bytes
+==========  =============================  ======
+Leaf        key (8) + value (8)            16
+Node4       hdr 16 + keys 4 + ptrs 32      52
+Node16      hdr 16 + keys 16 + ptrs 128    160
+Node48      hdr 16 + index 256 + ptrs 384  656
+Node256     hdr 16 + ptrs 2048             2064
+==========  =============================  ======
+
+The header line of each node's :class:`~repro.sim.trace.LineSpan` holds
+the lock word, prefix, and ``match_level``; child pointers live in the
+following lines, and traversal records the specific line it dereferences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.concurrency.version_lock import OptimisticLock
+from repro.sim.trace import LineSpan, MemoryMap
+
+KEY_BYTES = 8
+_HEADER_BYTES = 16
+
+
+def encode_key(key: int) -> bytes:
+    """8-byte big-endian encoding; byte order equals numeric order."""
+    return key.to_bytes(KEY_BYTES, "big")
+
+
+class Leaf:
+    """A single key/value pair.  Immutable: updates replace the leaf.
+
+    ``parent``/``pbyte`` locate the edge above the leaf; the C design
+    keeps the parent pointer in the header, so it adds no modeled bytes.
+    """
+
+    __slots__ = ("key", "kbytes", "value", "span", "parent", "pbyte")
+
+    SIZE_BYTES = 16
+
+    def __init__(self, key: int, value, memory: MemoryMap, tag: str):
+        self.key = key
+        self.kbytes = encode_key(key)
+        self.value = value
+        self.span = memory.alloc(self.SIZE_BYTES, tag)
+        self.parent = None
+        self.pbyte = 0
+
+    def free(self) -> None:
+        self.span.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Leaf({self.key})"
+
+
+class Node:
+    """Base inner node: compressed prefix, match level, OLC lock."""
+
+    __slots__ = ("prefix", "match_level", "lock", "span", "count", "parent", "pbyte")
+
+    SIZE_BYTES = 0  # overridden
+    CAPACITY = 0
+
+    def __init__(self, prefix: bytes, match_level: int, memory: MemoryMap, tag: str):
+        self.prefix = prefix
+        self.match_level = match_level
+        self.lock = OptimisticLock()
+        self.span = memory.alloc(self.SIZE_BYTES, tag)
+        self.count = 0
+        self.parent = None
+        self.pbyte = 0
+
+    def free(self) -> None:
+        self.span.free()
+
+    def child_line(self, byte: int) -> int:
+        """Cache line holding the child pointer selected by ``byte``."""
+        body = self.SIZE_BYTES - _HEADER_BYTES
+        if body <= 0:
+            return self.span.line(0)
+        return self.span.line(_HEADER_BYTES + (byte * 8) % body)
+
+    def is_full(self) -> bool:
+        return self.count >= self.CAPACITY
+
+    # The methods below are implemented per node type.
+    def find_child(self, byte: int):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def add_child(self, byte: int, child) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def replace_child(self, byte: int, child) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def remove_child(self, byte: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def iter_children(self) -> Iterator[tuple[int, object]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(prefix={self.prefix.hex()}, "
+            f"level={self.match_level}, count={self.count})"
+        )
+
+
+class Node4(Node):
+    """Up to 4 children; sorted parallel key/child arrays."""
+
+    __slots__ = ("keys", "children")
+
+    SIZE_BYTES = 52
+    CAPACITY = 4
+
+    def __init__(self, prefix: bytes, match_level: int, memory: MemoryMap, tag: str):
+        super().__init__(prefix, match_level, memory, tag)
+        self.keys: list[int] = []
+        self.children: list = []
+
+    def find_child(self, byte: int):
+        keys = self.keys
+        for i in range(len(keys)):
+            if keys[i] == byte:
+                return self.children[i]
+        return None
+
+    def _slot_of(self, byte: int) -> int:
+        lo = 0
+        keys = self.keys
+        while lo < len(keys) and keys[lo] < byte:
+            lo += 1
+        return lo
+
+    def add_child(self, byte: int, child) -> None:
+        i = self._slot_of(byte)
+        self.keys.insert(i, byte)
+        self.children.insert(i, child)
+        self.count += 1
+
+    def replace_child(self, byte: int, child) -> None:
+        i = self.keys.index(byte)
+        self.children[i] = child
+
+    def remove_child(self, byte: int) -> None:
+        i = self.keys.index(byte)
+        del self.keys[i]
+        del self.children[i]
+        self.count -= 1
+
+    def iter_children(self) -> Iterator[tuple[int, object]]:
+        return zip(self.keys, self.children)
+
+    def grow(self, memory: MemoryMap, tag: str) -> "Node16":
+        node = Node16(self.prefix, self.match_level, memory, tag)
+        node.keys = list(self.keys)
+        node.children = list(self.children)
+        node.count = self.count
+        return node
+
+    @property
+    def only_child(self):
+        """The single remaining (byte, child) pair; valid when count == 1."""
+        return self.keys[0], self.children[0]
+
+
+class Node16(Node):
+    """Up to 16 children; sorted arrays with binary search."""
+
+    __slots__ = ("keys", "children")
+
+    SIZE_BYTES = 160
+    CAPACITY = 16
+    SHRINK_AT = 3
+
+    def __init__(self, prefix: bytes, match_level: int, memory: MemoryMap, tag: str):
+        super().__init__(prefix, match_level, memory, tag)
+        self.keys: list[int] = []
+        self.children: list = []
+
+    def _search(self, byte: int) -> int:
+        lo, hi = 0, len(self.keys)
+        keys = self.keys
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < byte:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def find_child(self, byte: int):
+        i = self._search(byte)
+        if i < len(self.keys) and self.keys[i] == byte:
+            return self.children[i]
+        return None
+
+    def add_child(self, byte: int, child) -> None:
+        i = self._search(byte)
+        self.keys.insert(i, byte)
+        self.children.insert(i, child)
+        self.count += 1
+
+    def replace_child(self, byte: int, child) -> None:
+        i = self._search(byte)
+        self.children[i] = child
+
+    def remove_child(self, byte: int) -> None:
+        i = self._search(byte)
+        del self.keys[i]
+        del self.children[i]
+        self.count -= 1
+
+    def iter_children(self) -> Iterator[tuple[int, object]]:
+        return zip(self.keys, self.children)
+
+    def grow(self, memory: MemoryMap, tag: str) -> "Node48":
+        node = Node48(self.prefix, self.match_level, memory, tag)
+        for byte, child in zip(self.keys, self.children):
+            node.add_child(byte, child)
+        return node
+
+    def shrink(self, memory: MemoryMap, tag: str) -> "Node4":
+        node = Node4(self.prefix, self.match_level, memory, tag)
+        node.keys = list(self.keys)
+        node.children = list(self.children)
+        node.count = self.count
+        return node
+
+
+class Node48(Node):
+    """256-entry byte index into a 48-slot child array."""
+
+    __slots__ = ("child_index", "children", "_free_slots")
+
+    SIZE_BYTES = 656
+    CAPACITY = 48
+    SHRINK_AT = 12
+    EMPTY = 0xFF
+
+    def __init__(self, prefix: bytes, match_level: int, memory: MemoryMap, tag: str):
+        super().__init__(prefix, match_level, memory, tag)
+        self.child_index = bytearray([self.EMPTY] * 256)
+        self.children: list = [None] * 48
+        self._free_slots = list(range(47, -1, -1))
+
+    def find_child(self, byte: int):
+        slot = self.child_index[byte]
+        if slot == self.EMPTY:
+            return None
+        return self.children[slot]
+
+    def add_child(self, byte: int, child) -> None:
+        slot = self._free_slots.pop()
+        self.child_index[byte] = slot
+        self.children[slot] = child
+        self.count += 1
+
+    def replace_child(self, byte: int, child) -> None:
+        self.children[self.child_index[byte]] = child
+
+    def remove_child(self, byte: int) -> None:
+        slot = self.child_index[byte]
+        self.child_index[byte] = self.EMPTY
+        self.children[slot] = None
+        self._free_slots.append(slot)
+        self.count -= 1
+
+    def iter_children(self) -> Iterator[tuple[int, object]]:
+        index = self.child_index
+        for byte in range(256):
+            slot = index[byte]
+            if slot != self.EMPTY:
+                yield byte, self.children[slot]
+
+    def grow(self, memory: MemoryMap, tag: str) -> "Node256":
+        node = Node256(self.prefix, self.match_level, memory, tag)
+        for byte, child in self.iter_children():
+            node.add_child(byte, child)
+        return node
+
+    def shrink(self, memory: MemoryMap, tag: str) -> "Node16":
+        node = Node16(self.prefix, self.match_level, memory, tag)
+        for byte, child in self.iter_children():
+            node.add_child(byte, child)
+        return node
+
+
+class Node256(Node):
+    """Direct 256-way child array."""
+
+    __slots__ = ("children",)
+
+    SIZE_BYTES = 2064
+    CAPACITY = 256
+    SHRINK_AT = 37
+
+    def __init__(self, prefix: bytes, match_level: int, memory: MemoryMap, tag: str):
+        super().__init__(prefix, match_level, memory, tag)
+        self.children: list = [None] * 256
+
+    def find_child(self, byte: int):
+        return self.children[byte]
+
+    def add_child(self, byte: int, child) -> None:
+        self.children[byte] = child
+        self.count += 1
+
+    def replace_child(self, byte: int, child) -> None:
+        self.children[byte] = child
+
+    def remove_child(self, byte: int) -> None:
+        self.children[byte] = None
+        self.count -= 1
+
+    def iter_children(self) -> Iterator[tuple[int, object]]:
+        children = self.children
+        for byte in range(256):
+            child = children[byte]
+            if child is not None:
+                yield byte, child
+
+    def shrink(self, memory: MemoryMap, tag: str) -> "Node48":
+        node = Node48(self.prefix, self.match_level, memory, tag)
+        for byte, child in self.iter_children():
+            node.add_child(byte, child)
+        return node
+
+
+def common_prefix_len(a: bytes, b: bytes, start: int = 0) -> int:
+    """Length of the shared prefix of ``a[start:]`` and ``b[start:]``."""
+    n = min(len(a), len(b)) - start
+    for i in range(n):
+        if a[start + i] != b[start + i]:
+            return i
+    return max(n, 0)

@@ -1,0 +1,612 @@
+"""Concurrent Adaptive Radix Tree with optimistic lock coupling.
+
+Implements the full ART of Leis et al. (ICDE 2013) — adaptive node types,
+pessimistic path compression, lazy leaf expansion — synchronized with the
+optimistic-lock-coupling protocol of "The ART of practical synchronization"
+(DaMoN 2016), which the paper uses for its ART-OPT layer (§III-E).
+
+Additions required by ALT-index:
+
+- every node carries ``match_level`` (§III-C2): the number of key bytes
+  already consumed above the node, so a lookup entering mid-tree through a
+  fast pointer knows where to resume comparing;
+- ``search_from(node, key)`` / ``insert_from(node, key, value)`` start the
+  descent at an intermediate node;
+- structure-modification callbacks: whenever a node object is replaced
+  (growth, shrink, path-compression merge) or acquires a new parent
+  (prefix extraction), registered listeners get ``(old_node, new_node)``
+  so fast pointers can be repaired (§III-C3 scenarios ① and ②);
+- ``common_ancestor(k1, k2)`` finds the deepest node shared by two keys'
+  lookup footprints, used to build fast pointers.
+
+Writers acquire node write locks via non-blocking upgrade and restart on
+failure, so the protocol is deadlock-free; readers never write shared
+state.  All operations record cache-line touches and node visits into the
+ambient cost trace.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator, Optional
+
+from repro.art.nodes import (
+    KEY_BYTES,
+    Leaf,
+    Node,
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+    common_prefix_len,
+    encode_key,
+)
+from repro.concurrency.epoch import EpochManager
+from repro.concurrency.version_lock import OptimisticLock, RestartException
+from repro.sim.trace import MemoryMap, active_tracer, global_memory
+
+_HEADER = 16
+
+ReplaceListener = Callable[[object, object], None]
+
+
+class AdaptiveRadixTree:
+    """A concurrent ART over unsigned 64-bit integer keys.
+
+    Parameters
+    ----------
+    memory:
+        Modeled memory map for node allocations (defaults to the global
+        map).
+    tag:
+        Allocation tag, letting multiple indexes account memory separately.
+    """
+
+    def __init__(self, memory: MemoryMap | None = None, tag: str = "art"):
+        self._memory = memory or global_memory()
+        self._tag = tag
+        self._root: object | None = None
+        self._root_lock = OptimisticLock()
+        self._size = 0
+        self._size_lock = threading.Lock()
+        self._replace_listeners: list[ReplaceListener] = []
+        self.epoch = EpochManager()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def root(self):
+        return self._root
+
+    def add_replace_listener(self, listener: ReplaceListener) -> None:
+        """Register ``listener(old_node, new_node)`` for SMO notifications."""
+        self._replace_listeners.append(listener)
+
+    def search(self, key: int, from_node=None):
+        """Return the value for ``key`` or ``None``; restarts transparently."""
+        while True:
+            try:
+                return self._search(key, from_node)
+            except RestartException:
+                continue
+
+    def insert(self, key: int, value, from_node=None, upsert: bool = False) -> bool:
+        """Insert ``key``.
+
+        Returns True if the key was newly inserted.  With ``upsert`` the
+        value is replaced when the key exists (still returning False).
+        """
+        while True:
+            try:
+                return self._insert(key, value, from_node, upsert)
+            except RestartException:
+                continue
+
+    def remove(self, key: int) -> bool:
+        """Delete ``key``; returns True if it was present."""
+        while True:
+            try:
+                return self._remove(key)
+            except RestartException:
+                continue
+
+    def items(self, lo: int = 0, hi: int = 2**64 - 1) -> list[tuple[int, object]]:
+        """Sorted (key, value) pairs with lo <= key <= hi."""
+        while True:
+            try:
+                out: list[tuple[int, object]] = []
+                self._collect(self._root, lo, hi, out)
+                return out
+            except RestartException:
+                continue
+
+    def scan(self, lo: int, limit: int) -> list[tuple[int, object]]:
+        """Up to ``limit`` sorted (key, value) pairs with key >= lo.
+
+        Bounded in-order traversal: subtrees entirely below ``lo`` are
+        pruned byte-by-byte, and the walk stops once ``limit`` pairs are
+        collected (short-scan workload, Fig. 8c).
+        """
+        while True:
+            try:
+                out: list[tuple[int, object]] = []
+                self._scan(self._root, encode_key(lo), 0, True, limit, out)
+                return out
+            except RestartException:
+                continue
+
+    def _scan(
+        self, node, lo_bytes: bytes, depth: int, tight: bool, limit: int, out: list
+    ) -> None:
+        if node is None or len(out) >= limit:
+            return
+        trace = active_tracer()
+        if isinstance(node, Leaf):
+            trace.read_span(node.span)
+            if not tight or node.kbytes >= lo_bytes:
+                out.append((node.key, node.value))
+            return
+        version = node.lock.read_lock_or_restart()
+        trace.read_span(node.span)
+        p = node.prefix
+        if tight and p:
+            ref = lo_bytes[depth : depth + len(p)]
+            if p > ref:
+                tight = False
+            elif p < ref:
+                node.lock.check_or_restart(version)
+                return
+        depth += len(p)
+        bound = lo_bytes[depth] if tight else 0
+        children = [(b, c) for b, c in node.iter_children() if b >= bound]
+        node.lock.check_or_restart(version)
+        for byte, child in children:
+            if len(out) >= limit:
+                return
+            self._scan(child, lo_bytes, depth + 1, tight and byte == bound, limit, out)
+
+    def min_item(self) -> tuple[int, object] | None:
+        """Smallest (key, value) pair, or None when empty."""
+        node = self._root
+        while node is not None and not isinstance(node, Leaf):
+            node = next(iter(node.iter_children()))[1]
+        if node is None:
+            return None
+        return node.key, node.value
+
+    def lookup_path_length(self, key: int, from_node=None) -> int:
+        """Number of inner nodes visited to locate ``key`` (Fig. 10a)."""
+        depth = 0 if from_node is None else from_node.match_level
+        node = self._root if from_node is None else from_node
+        kb = encode_key(key)
+        visited = 0
+        while node is not None and not isinstance(node, Leaf):
+            visited += 1
+            p = node.prefix
+            if p and kb[depth : depth + len(p)] != p:
+                break
+            depth += len(p)
+            node = node.find_child(kb[depth])
+            depth += 1
+        return visited
+
+    def common_ancestor(self, k1: int, k2: int):
+        """Deepest node on both keys' lookup paths (fast pointer target).
+
+        Returns the root when the keys diverge immediately, or ``None``
+        for an empty tree.  §III-C1 step ②.
+        """
+        node = self._root
+        if node is None or isinstance(node, Leaf):
+            return None
+        b1, b2 = encode_key(k1), encode_key(k2)
+        depth = 0
+        while True:
+            p = node.prefix
+            if p:
+                if b1[depth : depth + len(p)] != p or b2[depth : depth + len(p)] != p:
+                    return node
+                depth += len(p)
+            c1 = node.find_child(b1[depth])
+            c2 = node.find_child(b2[depth])
+            if b1[depth] != b2[depth] or c1 is None or c1 is not c2:
+                return node
+            if isinstance(c1, Leaf):
+                return node
+            node = c1
+            depth += 1
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _search(self, key: int, from_node):
+        kb = encode_key(key)
+        trace = active_tracer()
+        if from_node is None:
+            rv = self._root_lock.read_lock_or_restart()
+            node = self._root
+            self._root_lock.read_unlock_or_restart(rv)
+            depth = 0
+        else:
+            node = from_node
+            if isinstance(node, Node) and node.lock.is_obsolete:
+                # Stale shortcut: caller should repair; fall back to root.
+                node = self._root
+                depth = 0
+            else:
+                depth = node.match_level
+        while True:
+            if node is None:
+                return None
+            if isinstance(node, Leaf):
+                trace.read_span(node.span)
+                return node.value if node.kbytes == kb else None
+            version = node.lock.read_lock_or_restart()
+            trace.read_span(node.span)
+            if hasattr(trace, "nodes_visited"):
+                trace.nodes_visited += 1
+            p = node.prefix
+            if p and kb[depth : depth + len(p)] != p:
+                node.lock.read_unlock_or_restart(version)
+                return None
+            depth += len(p)
+            child = node.find_child(kb[depth])
+            trace.read_line(node.child_line(kb[depth]))
+            node.lock.read_unlock_or_restart(version)
+            node = child
+            depth += 1
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def _notify_replace(self, old, new) -> None:
+        for listener in self._replace_listeners:
+            listener(old, new)
+
+    def _bump_size(self, delta: int) -> None:
+        with self._size_lock:
+            self._size += delta
+
+    def _lock_parent_of(self, node):
+        """Write-lock the edge above ``node``; returns an unlock closure
+        and a ``replace(new_child)`` closure.  Restarts if the edge moved.
+        """
+        parent = getattr(node, "parent", None)
+        if parent is None:
+            # node hangs off the tree root pointer
+            rv = self._root_lock.read_lock_or_restart()
+            if self._root is not node:
+                raise RestartException
+            self._root_lock.upgrade_to_write_lock_or_restart(rv)
+            if self._root is not node:
+                self._root_lock.write_unlock()
+                raise RestartException
+
+            def replace(new_child):
+                self._root = new_child
+                if isinstance(new_child, (Node, Leaf)):
+                    new_child.parent = None
+
+            return self._root_lock.write_unlock, replace
+
+        pv = parent.lock.read_lock_or_restart()
+        byte = node.pbyte
+        if parent.find_child(byte) is not node:
+            raise RestartException
+        parent.lock.upgrade_to_write_lock_or_restart(pv)
+        if parent.find_child(byte) is not node:
+            parent.lock.write_unlock()
+            raise RestartException
+        trace = active_tracer()
+        trace.write_span(parent.span)
+
+        def replace(new_child):
+            parent.replace_child(byte, new_child)
+            new_child.parent = parent
+            new_child.pbyte = byte
+
+        return parent.lock.write_unlock, replace
+
+    def _insert(self, key: int, value, from_node, upsert: bool) -> bool:
+        kb = encode_key(key)
+        trace = active_tracer()
+
+        if from_node is not None and not (
+            isinstance(from_node, Node) and from_node.lock.is_obsolete
+        ):
+            node = from_node
+            depth = node.match_level
+        else:
+            rv = self._root_lock.read_lock_or_restart()
+            node = self._root
+            if node is None:
+                self._root_lock.upgrade_to_write_lock_or_restart(rv)
+                if self._root is not None:
+                    self._root_lock.write_unlock()
+                    raise RestartException
+                leaf = Leaf(key, value, self._memory, self._tag)
+                leaf.parent = None
+                self._root = leaf
+                self._root_lock.write_unlock()
+                self._bump_size(1)
+                return True
+            self._root_lock.read_unlock_or_restart(rv)
+            depth = 0
+
+        while True:
+            if isinstance(node, Leaf):
+                return self._insert_at_leaf(node, key, kb, value, depth, upsert)
+            version = node.lock.read_lock_or_restart()
+            trace.read_span(node.span)
+            if hasattr(trace, "nodes_visited"):
+                trace.nodes_visited += 1
+            p = node.prefix
+            cpl = common_prefix_len(p, kb[depth : depth + len(p)]) if p else 0
+            if p and cpl < len(p):
+                return self._prefix_extract(node, version, key, kb, value, depth, cpl)
+            depth += len(p)
+            byte = kb[depth]
+            child = node.find_child(byte)
+            node.lock.check_or_restart(version)
+            if child is None:
+                return self._add_leaf(node, version, byte, key, value, depth)
+            node = child
+            depth += 1
+
+    def _insert_at_leaf(
+        self, leaf: Leaf, key: int, kb: bytes, value, depth: int, upsert: bool
+    ) -> bool:
+        trace = active_tracer()
+        trace.read_span(leaf.span)
+        unlock, replace = self._lock_parent_of(leaf)
+        try:
+            if leaf.key == key:
+                if upsert:
+                    new_leaf = Leaf(key, value, self._memory, self._tag)
+                    replace(new_leaf)
+                    trace.write_span(new_leaf.span)
+                    self.epoch.retire(leaf.free)
+                return False
+            cpl = common_prefix_len(leaf.kbytes, kb, depth)
+            new4 = Node4(kb[depth : depth + cpl], depth, self._memory, self._tag)
+            old_byte = leaf.kbytes[depth + cpl]
+            new_byte = kb[depth + cpl]
+            new_leaf = Leaf(key, value, self._memory, self._tag)
+            trace.write_span(new_leaf.span)
+            new4.add_child(old_byte, leaf)
+            new4.add_child(new_byte, new_leaf)
+            leaf.parent = new4
+            leaf.pbyte = old_byte
+            new_leaf.parent = new4
+            new_leaf.pbyte = new_byte
+            replace(new4)
+            trace.write_span(new4.span)
+            self._bump_size(1)
+            return True
+        finally:
+            unlock()
+
+    def _prefix_extract(
+        self, node: Node, version: int, key: int, kb: bytes, value, depth: int, cpl: int
+    ) -> bool:
+        """§III-C3 scenario ①: split the compressed prefix of ``node``.
+
+        Creates a new Node4 parent holding the shared prefix slice; the
+        old node keeps the remainder.  Listeners are notified with
+        ``(node, new_parent)`` so fast pointers move up to the new parent.
+        """
+        trace = active_tracer()
+        unlock, replace = self._lock_parent_of(node)
+        try:
+            node.lock.upgrade_to_write_lock_or_restart(version)
+            p = node.prefix
+            new_parent = Node4(p[:cpl], depth, self._memory, self._tag)
+            node_byte = p[cpl]
+            node.prefix = p[cpl + 1 :]
+            node.match_level = depth + cpl + 1
+            new_leaf = Leaf(key, value, self._memory, self._tag)
+            trace.write_span(new_leaf.span)
+            leaf_byte = kb[depth + cpl]
+            new_parent.add_child(node_byte, node)
+            new_parent.add_child(leaf_byte, new_leaf)
+            node.parent = new_parent
+            node.pbyte = node_byte
+            new_leaf.parent = new_parent
+            new_leaf.pbyte = leaf_byte
+            replace(new_parent)
+            trace.write_span(new_parent.span)
+            trace.write_span(node.span)
+            node.lock.write_unlock()
+            self._notify_replace(node, new_parent)
+            self._bump_size(1)
+            return True
+        finally:
+            unlock()
+
+    def _add_leaf(
+        self, node: Node, version: int, byte: int, key: int, value, depth: int
+    ) -> bool:
+        trace = active_tracer()
+        if not node.is_full():
+            node.lock.upgrade_to_write_lock_or_restart(version)
+            if node.find_child(byte) is not None:
+                node.lock.write_unlock()
+                raise RestartException
+            leaf = Leaf(key, value, self._memory, self._tag)
+            node.add_child(byte, leaf)
+            leaf.parent = node
+            leaf.pbyte = byte
+            trace.write_span(node.span, _HEADER)
+            trace.write_span(leaf.span)
+            node.lock.write_unlock()
+            self._bump_size(1)
+            return True
+
+        # §III-C3 scenario ②: node expansion replaces the node object.
+        unlock, replace = self._lock_parent_of(node)
+        try:
+            node.lock.upgrade_to_write_lock_or_restart(version)
+            grown = node.grow(self._memory, self._tag)
+            leaf = Leaf(key, value, self._memory, self._tag)
+            trace.write_span(leaf.span)
+            grown.add_child(byte, leaf)
+            leaf.parent = grown
+            leaf.pbyte = byte
+            for cbyte, child in grown.iter_children():
+                child.parent = grown
+                child.pbyte = cbyte
+            replace(grown)
+            trace.write_span(grown.span)
+            node.lock.write_unlock_obsolete()
+            self.epoch.retire(node.free)
+            self._notify_replace(node, grown)
+            self._bump_size(1)
+            return True
+        finally:
+            unlock()
+
+    # ------------------------------------------------------------------
+    # remove
+    # ------------------------------------------------------------------
+    def _remove(self, key: int) -> bool:
+        kb = encode_key(key)
+        trace = active_tracer()
+        rv = self._root_lock.read_lock_or_restart()
+        node = self._root
+        if node is None:
+            return False
+        if isinstance(node, Leaf):
+            if node.key != key:
+                return False
+            self._root_lock.upgrade_to_write_lock_or_restart(rv)
+            if self._root is not node:
+                self._root_lock.write_unlock()
+                raise RestartException
+            self._root = None
+            self._root_lock.write_unlock()
+            self.epoch.retire(node.free)
+            self._bump_size(-1)
+            return True
+        self._root_lock.read_unlock_or_restart(rv)
+
+        depth = 0
+        while True:
+            version = node.lock.read_lock_or_restart()
+            trace.read_span(node.span)
+            p = node.prefix
+            if p and kb[depth : depth + len(p)] != p:
+                node.lock.read_unlock_or_restart(version)
+                return False
+            depth += len(p)
+            byte = kb[depth]
+            child = node.find_child(byte)
+            node.lock.check_or_restart(version)
+            if child is None:
+                return False
+            if isinstance(child, Leaf):
+                if child.key != key:
+                    return False
+                return self._remove_leaf(node, version, byte, child)
+            node = child
+            depth += 1
+
+    def _remove_leaf(self, node: Node, version: int, byte: int, leaf: Leaf) -> bool:
+        trace = active_tracer()
+        node.lock.upgrade_to_write_lock_or_restart(version)
+        node.remove_child(byte)
+        trace.write_span(node.span, _HEADER)
+        self.epoch.retire(leaf.free)
+        self._bump_size(-1)
+
+        if isinstance(node, Node4) and node.count == 1 and node.parent is not None:
+            # Path-compression merge: replace node with its only child.
+            try:
+                unlock, replace = self._lock_parent_of(node)
+            except RestartException:
+                node.lock.write_unlock()
+                return True  # deletion already done; merge is best-effort
+            try:
+                cbyte, child = node.only_child
+                if isinstance(child, Node):
+                    child.prefix = node.prefix + bytes([cbyte]) + child.prefix
+                    child.match_level = node.match_level
+                replace(child)
+                node.lock.write_unlock_obsolete()
+                self.epoch.retire(node.free)
+                self._notify_replace(node, child)
+            finally:
+                unlock()
+            return True
+
+        shrink_at = getattr(node, "SHRINK_AT", None)
+        if shrink_at is not None and node.count < shrink_at and node.parent is not None:
+            try:
+                unlock, replace = self._lock_parent_of(node)
+            except RestartException:
+                node.lock.write_unlock()
+                return True
+            try:
+                shrunk = node.shrink(self._memory, self._tag)
+                for cb, child in shrunk.iter_children():
+                    child.parent = shrunk
+                    child.pbyte = cb
+                replace(shrunk)
+                node.lock.write_unlock_obsolete()
+                self.epoch.retire(node.free)
+                self._notify_replace(node, shrunk)
+            finally:
+                unlock()
+            return True
+
+        node.lock.write_unlock()
+        return True
+
+    # ------------------------------------------------------------------
+    # range scan
+    # ------------------------------------------------------------------
+    def _collect(self, node, lo: int, hi: int, out: list) -> None:
+        if node is None:
+            return
+        if isinstance(node, Leaf):
+            if lo <= node.key <= hi:
+                out.append((node.key, node.value))
+            return
+        version = node.lock.read_lock_or_restart()
+        children = [c for _, c in node.iter_children()]
+        node.lock.check_or_restart(version)
+        trace = active_tracer()
+        trace.read_span(node.span)
+        for child in children:
+            self._collect(child, lo, hi, out)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def node_counts(self) -> dict[str, int]:
+        """Count of live nodes per type (diagnostics/memory tests)."""
+        counts: dict[str, int] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            counts[type(node).__name__] = counts.get(type(node).__name__, 0) + 1
+            if isinstance(node, Node):
+                stack.extend(c for _, c in node.iter_children())
+        return counts
+
+    def height(self) -> int:
+        """Maximum inner-node depth (leaves excluded)."""
+
+        def depth_of(node) -> int:
+            if node is None or isinstance(node, Leaf):
+                return 0
+            return 1 + max(
+                (depth_of(c) for _, c in node.iter_children()), default=0
+            )
+
+        return depth_of(self._root)

@@ -1,0 +1,121 @@
+"""Trace-and-simulate experiment execution.
+
+An experiment runs in three phases:
+
+1. **Build** — bulk-load the index with the dataset split's load keys.
+2. **Trace** — execute the generated operation stream against the real
+   index, recording one :class:`~repro.sim.trace.CostTrace` per op.
+3. **Simulate** — replay the traces on N virtual threads
+   (:func:`repro.sim.engine.simulate`) to obtain throughput and latency.
+
+Phases 1-2 exercise real data-structure code (correctness); phase 3
+prices it under concurrency (performance).  See DESIGN.md §1 for why the
+reproduction is split this way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import OrderedIndex
+from repro.sim.engine import SimConfig, SimResult, simulate
+from repro.sim.metrics import LatencySummary, summarize_latencies
+from repro.sim.trace import CostTrace, tracer
+from repro.workloads.generator import DatasetSplit, Operation, generate_ops, split_dataset
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class ExperimentResult:
+    """One cell of a paper table/figure."""
+
+    index_name: str
+    dataset: str
+    workload: str
+    threads: int
+    n_ops: int
+    sim: SimResult
+    latency: LatencySummary
+    build_seconds: float
+    index_stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput_mops(self) -> float:
+        return self.sim.throughput_mops
+
+    @property
+    def p999_us(self) -> float:
+        return self.latency.p999_us
+
+    def row(self) -> dict:
+        """Flat dict for table printing."""
+        return {
+            "index": self.index_name,
+            "dataset": self.dataset,
+            "workload": self.workload,
+            "threads": self.threads,
+            "mops": round(self.throughput_mops, 3),
+            "p999_us": round(self.p999_us, 2),
+            "hit_rate": round(self.sim.hit_rate, 3),
+            "conflicts": self.sim.conflicts,
+        }
+
+
+def trace_ops(index: OrderedIndex, ops: list[Operation]) -> list[CostTrace]:
+    """Run operations against the index, one cost trace per op."""
+    traces: list[CostTrace] = []
+    append = traces.append
+    for op in ops:
+        with tracer() as t:
+            if op.kind == "read":
+                index.get(op.key)
+            elif op.kind == "insert":
+                index.insert(op.key, op.key)
+            else:
+                index.scan(op.key, op.length)
+        append(t)
+    return traces
+
+
+def run_experiment(
+    index_cls,
+    dataset_name: str,
+    keys: np.ndarray,
+    spec: WorkloadSpec,
+    threads: int = 32,
+    n_ops: int = 20_000,
+    seed: int = 0,
+    load_frac: float = 0.5,
+    theta: float = 0.99,
+    warmup_frac: float = 0.5,
+    sim_config: SimConfig | None = None,
+    bulk_options: dict | None = None,
+) -> ExperimentResult:
+    """Run one (index, dataset, workload, threads) experiment cell.
+
+    ``warmup_frac`` extra operations are prepended and executed but
+    excluded from the reported metrics, so virtual caches measure steady
+    state rather than cold starts.
+    """
+    split = split_dataset(keys, load_frac, seed=seed)
+    start = time.perf_counter()
+    index = index_cls.bulk_load(split.load_keys, **(bulk_options or {}))
+    build_seconds = time.perf_counter() - start
+    warmup = int(n_ops * warmup_frac)
+    ops = generate_ops(spec, split, n_ops + warmup, theta=theta, seed=seed)
+    traces = trace_ops(index, ops)
+    sim = simulate(traces, sim_config or SimConfig(threads=threads), warmup=warmup)
+    return ExperimentResult(
+        index_name=index_cls.NAME,
+        dataset=dataset_name,
+        workload=spec.name,
+        threads=threads,
+        n_ops=n_ops,
+        sim=sim,
+        latency=summarize_latencies(sim.latencies_ns),
+        build_seconds=build_seconds,
+        index_stats=index.stats(),
+    )

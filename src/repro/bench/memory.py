@@ -1,0 +1,28 @@
+"""Modeled-memory accounting for the space-overhead experiment (Fig. 8a).
+
+Memory figures reflect the *modeled* C-level layout each structure
+declares (node sizes, slot arrays, buffers), not Python object overhead
+— i.e. what the paper's C++ implementations would allocate.
+"""
+
+from __future__ import annotations
+
+from repro.common import OrderedIndex
+from repro.sim.trace import global_memory
+
+
+def memory_breakdown(index: OrderedIndex) -> dict[str, int]:
+    """Live modeled bytes per allocation tag under the index's prefix."""
+    prefix = index.mem_tag
+    mem = getattr(index, "_memory", None) or global_memory()
+    return {
+        tag: b
+        for tag, b in sorted(mem.live_bytes_by_tag().items())
+        if tag.startswith(prefix)
+    }
+
+
+def bytes_per_key(index: OrderedIndex) -> float:
+    """Space efficiency: live modeled bytes divided by resident keys."""
+    n = len(index)  # type: ignore[arg-type]
+    return index.memory_bytes() / n if n else 0.0

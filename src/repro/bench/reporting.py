@@ -1,0 +1,37 @@
+"""Plain-text tables in the style of the paper's result presentation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(rows: Iterable[dict], headers: Sequence[str] | None = None) -> str:
+    """Fixed-width table from dict rows (column order from headers or
+    first row)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = list(headers) if headers else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), max((len(r[i]) for r in cells), default=0))
+        for i, c in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in cells)
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def banner(title: str) -> str:
+    """Section banner used between benchmark outputs."""
+    bar = "=" * max(len(title) + 4, 40)
+    return f"\n{bar}\n  {title}\n{bar}"

@@ -1,0 +1,57 @@
+"""Experiment-grid utilities: dataset caching, scale control, factories.
+
+Every benchmark accepts the ``REPRO_SCALE`` environment variable: a
+float multiplier on the default dataset size (100 K keys) and operation
+count (20 K ops).  ``REPRO_SCALE=10`` runs 1 M-key datasets.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines.alex import AlexIndex
+from repro.baselines.art_index import ArtIndex
+from repro.baselines.finedex import FINEdex
+from repro.baselines.lipp import LippIndex
+from repro.baselines.xindex import XIndex
+from repro.core.alt_index import ALTIndex
+from repro.datasets.generators import dataset
+
+_BASE_KEYS = 200_000
+_BASE_OPS = 40_000
+
+#: Paper competitor set (§IV-A3), in the figures' legend order.
+INDEX_FACTORIES = {
+    "ALT-index": ALTIndex,
+    "ALEX+": AlexIndex,
+    "LIPP+": LippIndex,
+    "FINEdex": FINEdex,
+    "XIndex": XIndex,
+    "ART": ArtIndex,
+}
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+def base_scale() -> int:
+    """Dataset size in keys after scale adjustment."""
+    return max(int(_BASE_KEYS * _scale()), 1_000)
+
+
+def base_ops() -> int:
+    """Operation count per experiment after scale adjustment."""
+    return max(int(_BASE_OPS * _scale()), 1_000)
+
+
+@lru_cache(maxsize=16)
+def get_dataset(name: str, n: int | None = None, seed: int = 0) -> np.ndarray:
+    """Cached dataset generation (datasets are reused across cells)."""
+    return dataset(name, n or base_scale(), seed)

@@ -1,0 +1,102 @@
+"""The ordered-index protocol every index in this repository implements.
+
+The benchmark harness is index-agnostic: ALT-index and every competitor
+(ALEX+, LIPP+, XIndex, FINEdex, ART, B+-tree) expose exactly this
+interface, so an experiment is just a cross product of
+(index factory × dataset × workload × thread count).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.trace import global_memory
+
+
+class OrderedIndex(abc.ABC):
+    """A concurrent ordered key-value index over uint64 keys."""
+
+    #: Human-readable name used in benchmark tables.
+    NAME: str = "index"
+
+    #: Modeled-memory allocation tag; memory experiments sum live bytes
+    #: with this prefix.
+    mem_tag: str = "index"
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def bulk_load(cls, keys: np.ndarray, values: Sequence | None = None, **options) -> "OrderedIndex":
+        """Build from sorted, duplicate-free keys (§IV-A: 50% bulk load)."""
+
+    # -- point operations -----------------------------------------------------
+    @abc.abstractmethod
+    def get(self, key: int):
+        """Value for ``key`` or None."""
+
+    @abc.abstractmethod
+    def insert(self, key: int, value) -> bool:
+        """Insert; True if newly inserted (existing keys are updated)."""
+
+    @abc.abstractmethod
+    def remove(self, key: int) -> bool:
+        """Delete; True if the key was present."""
+
+    def update(self, key: int, value) -> bool:
+        """Update an existing key in place; default via get+insert."""
+        if self.get(key) is None:
+            return False
+        self.insert(key, value)
+        return True
+
+    # -- range operations --------------------------------------------------------
+    @abc.abstractmethod
+    def scan(self, lo: int, count: int) -> list[tuple[int, object]]:
+        """Up to ``count`` sorted pairs with key >= lo."""
+
+    def range_query(self, lo: int, hi: int) -> list[tuple[int, object]]:
+        """All pairs with lo <= key <= hi (default via scan batches)."""
+        out: list[tuple[int, object]] = []
+        cursor = lo
+        while True:
+            batch = self.scan(cursor, 256)
+            if not batch:
+                return out
+            for k, v in batch:
+                if k > hi:
+                    return out
+                out.append((k, v))
+            cursor = batch[-1][0] + 1
+
+    # -- accounting ---------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Live modeled bytes attributed to this index."""
+        mem = getattr(self, "_memory", None) or global_memory()
+        return sum(
+            b for tag, b in mem.live_bytes_by_tag().items() if tag.startswith(self.mem_tag)
+        )
+
+    def stats(self) -> dict:
+        """Index-specific diagnostics (overridden where interesting)."""
+        return {}
+
+
+def as_value_array(keys: np.ndarray, values) -> np.ndarray | Sequence:
+    """Default values = the keys themselves (SOSD convention)."""
+    if values is None:
+        return keys
+    if len(values) != len(keys):
+        raise ValueError("values must align with keys")
+    return values
+
+
+_TAG_COUNTER = [0]
+
+
+def unique_tag(prefix: str) -> str:
+    """Distinct memory tag per index instance, e.g. ``alex#3``."""
+    _TAG_COUNTER[0] += 1
+    return f"{prefix}#{_TAG_COUNTER[0]}"

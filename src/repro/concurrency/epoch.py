@@ -1,0 +1,101 @@
+"""Epoch-based memory reclamation.
+
+Optimistic readers may hold references to nodes that writers have already
+unlinked (e.g. an ART node replaced by expansion).  In C++ the node's
+memory cannot be freed until no reader can still observe it; the standard
+solution — used by the OLC ART the paper builds on — is epoch-based
+reclamation.  In Python the garbage collector makes this *safe* anyway,
+but the protocol still matters for the reproduction because retired nodes
+hold modeled memory (:class:`~repro.sim.trace.LineSpan`) that must be
+returned to the memory map at the correct time for the space-overhead
+experiment to be faithful.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class EpochGuard:
+    """RAII participation of one thread in the current epoch."""
+
+    __slots__ = ("_manager", "_tid")
+
+    def __init__(self, manager: "EpochManager", tid: int):
+        self._manager = manager
+        self._tid = tid
+
+    def __enter__(self) -> "EpochGuard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._manager._exit(self._tid)
+
+
+class EpochManager:
+    """Three-epoch deferred reclamation.
+
+    Writers retire objects into the current epoch's limbo list; a retired
+    object's ``free()`` callback runs only after the global epoch has
+    advanced twice, guaranteeing that no thread that could have observed
+    the object is still active.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = 0
+        self._active: dict[int, int] = {}  # thread id -> epoch it entered
+        self._limbo: dict[int, list[Callable[[], None]]] = {0: [], 1: [], 2: []}
+        self._lock = threading.Lock()
+        self.reclaimed = 0
+
+    @property
+    def current_epoch(self) -> int:
+        return self._epoch
+
+    def enter(self) -> EpochGuard:
+        """Pin the calling thread to the current epoch."""
+        tid = threading.get_ident()
+        with self._lock:
+            self._active[tid] = self._epoch
+        return EpochGuard(self, tid)
+
+    def _exit(self, tid: int) -> None:
+        with self._lock:
+            self._active.pop(tid, None)
+
+    def retire(self, free: Callable[[], None]) -> None:
+        """Schedule ``free()`` to run once no reader can observe the object."""
+        with self._lock:
+            self._limbo[self._epoch % 3].append(free)
+
+    def try_advance(self) -> bool:
+        """Advance the epoch if every active thread has caught up.
+
+        Returns True if the epoch advanced (and the oldest limbo list was
+        reclaimed).
+        """
+        with self._lock:
+            if any(e < self._epoch for e in self._active.values()):
+                return False
+            self._epoch += 1
+            oldest = self._limbo[self._epoch % 3]
+            self._limbo[self._epoch % 3] = []
+        for free in oldest:
+            free()
+        self.reclaimed += len(oldest)
+        return True
+
+    def drain(self) -> int:
+        """Force-reclaim everything (quiescent shutdown). Returns count."""
+        freed = 0
+        for _ in range(3):
+            with self._lock:
+                self._epoch += 1
+                batch = self._limbo[self._epoch % 3]
+                self._limbo[self._epoch % 3] = []
+            for free in batch:
+                free()
+            freed += len(batch)
+        self.reclaimed += freed
+        return freed

@@ -1,0 +1,55 @@
+"""Test-and-set spin lock used by the fast pointer buffer (§III-E).
+
+New fast pointers are appended to the buffer under a spin lock; the lock
+records its acquisitions and contention events so the simulator can price
+them, and exposes counters the fast-pointer experiments report.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sim.trace import active_tracer
+
+
+class SpinLock:
+    """A minimal test-and-set spin lock with contention accounting.
+
+    Usable as a context manager::
+
+        with lock:
+            buffer.append(ptr)
+    """
+
+    __slots__ = ("_lock", "acquisitions", "contentions")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self) -> None:
+        t = active_tracer()
+        if hasattr(t, "atomic_rmw"):
+            t.atomic_rmw += 1
+        # Fast path: uncontended test-and-set.
+        if not self._lock.acquire(blocking=False):
+            self.contentions += 1
+            if hasattr(t, "retries"):
+                t.retries += 1
+            self._lock.acquire()
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "SpinLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    @property
+    def locked(self) -> bool:
+        return self._lock.locked()

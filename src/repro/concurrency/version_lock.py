@@ -1,0 +1,215 @@
+"""Versioned optimistic locks: per-slot seqlocks and OLC node locks.
+
+Two protocols from the paper:
+
+- :class:`SlotVersion` / :class:`SlotVersionArray` — §III-E's per-data-slot
+  atomic version numbers in the GPL model.  Even = idle, odd = writer
+  active.  Writers spin the version odd, write, then bump it even; readers
+  snapshot the version, read, and revalidate.
+
+- :class:`OptimisticLock` — the versioned node lock of "The ART of
+  practical synchronization" (Leis et al. 2016), used for optimistic lock
+  coupling in the ART-OPT layer.  The lock word packs
+  ``version << 2 | obsolete << 1 | locked``.
+
+CPython's GIL does not make ``x += 1`` atomic (it compiles to separate
+load/add/store bytecodes), so compare-and-swap is emulated with a private
+mutex held only for the transition itself; the spinning/retry *protocol*
+is faithful and is exercised by real threads in the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sim.trace import active_tracer
+
+
+class RestartException(Exception):
+    """Raised when an optimistic read/write must restart from the root."""
+
+
+class SlotVersion:
+    """A single seqlock-style slot version (§III-E write-write protocol)."""
+
+    __slots__ = ("_value", "_cas")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._cas = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def read_begin(self) -> int:
+        """Snapshot the version, spinning while a writer is active (odd)."""
+        while True:
+            v = self._value
+            if v % 2 == 0:
+                return v
+            t = active_tracer()
+            if hasattr(t, "retries"):
+                t.retries += 1
+
+    def read_validate(self, version: int) -> bool:
+        """True if no writer intervened since :meth:`read_begin`."""
+        return self._value == version
+
+    def write_begin(self) -> None:
+        """Acquire: spin until even, then flip odd (emulated CAS)."""
+        tr = active_tracer()
+        if hasattr(tr, "atomic_rmw"):
+            tr.atomic_rmw += 1
+        while True:
+            with self._cas:
+                if self._value % 2 == 0:
+                    self._value += 1
+                    return
+            t = active_tracer()
+            if hasattr(t, "retries"):
+                t.retries += 1
+
+    def write_end(self) -> None:
+        """Release: bump back to even, publishing the write."""
+        with self._cas:
+            if self._value % 2 == 0:
+                raise RuntimeError("write_end without matching write_begin")
+            self._value += 1
+
+
+class SlotVersionArray:
+    """Dense array of slot versions for a GPL model's data slots.
+
+    A single guard mutex emulates CAS for the whole array — contention on
+    the guard is negligible under the GIL, and the protocol semantics
+    (spin-while-odd, publish-on-even) are identical to per-slot CAS.
+    """
+
+    __slots__ = ("_versions", "_cas")
+
+    def __init__(self, n_slots: int):
+        if n_slots < 0:
+            raise ValueError("n_slots must be non-negative")
+        self._versions = [0] * n_slots
+        self._cas = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def read_begin(self, slot: int) -> int:
+        versions = self._versions
+        while True:
+            v = versions[slot]
+            if v % 2 == 0:
+                return v
+            t = active_tracer()
+            if hasattr(t, "retries"):
+                t.retries += 1
+
+    def read_validate(self, slot: int, version: int) -> bool:
+        return self._versions[slot] == version
+
+    def write_begin(self, slot: int) -> None:
+        t = active_tracer()
+        if hasattr(t, "atomic_rmw"):
+            t.atomic_rmw += 1
+        while True:
+            with self._cas:
+                if self._versions[slot] % 2 == 0:
+                    self._versions[slot] += 1
+                    return
+            t = active_tracer()
+            if hasattr(t, "retries"):
+                t.retries += 1
+
+    def write_end(self, slot: int) -> None:
+        with self._cas:
+            if self._versions[slot] % 2 == 0:
+                raise RuntimeError(f"write_end on idle slot {slot}")
+            self._versions[slot] += 1
+
+    def grow(self, n_slots: int) -> None:
+        """Extend the array to cover ``n_slots`` total slots."""
+        if n_slots > len(self._versions):
+            self._versions.extend([0] * (n_slots - len(self._versions)))
+
+
+_LOCKED = 0b01
+_OBSOLETE = 0b10
+
+
+class OptimisticLock:
+    """Versioned node lock for optimistic lock coupling (OLC).
+
+    Readers proceed without writing shared state: they snapshot the
+    version, do their work, and revalidate; any intervening writer bumps
+    the version and forces a :class:`RestartException`.  Writers lock by
+    setting the low bit via emulated CAS.
+    """
+
+    __slots__ = ("_word", "_cas")
+
+    def __init__(self) -> None:
+        self._word = 0
+        self._cas = threading.Lock()
+
+    # -- reader side -------------------------------------------------------
+    def read_lock_or_restart(self) -> int:
+        """Snapshot a stable (unlocked, live) version or restart."""
+        word = self._word
+        if word & _LOCKED:
+            t = active_tracer()
+            if hasattr(t, "retries"):
+                t.retries += 1
+            raise RestartException
+        if word & _OBSOLETE:
+            raise RestartException
+        return word
+
+    def read_unlock_or_restart(self, version: int) -> None:
+        """Validate that the node did not change since the snapshot."""
+        if self._word != version:
+            t = active_tracer()
+            if hasattr(t, "retries"):
+                t.retries += 1
+            raise RestartException
+
+    check_or_restart = read_unlock_or_restart
+
+    # -- writer side -------------------------------------------------------
+    def upgrade_to_write_lock_or_restart(self, version: int) -> None:
+        """Atomically move from a validated read to a write lock."""
+        t = active_tracer()
+        if hasattr(t, "atomic_rmw"):
+            t.atomic_rmw += 1
+        with self._cas:
+            if self._word != version:
+                raise RestartException
+            self._word |= _LOCKED
+
+    def write_lock_or_restart(self) -> None:
+        version = self.read_lock_or_restart()
+        self.upgrade_to_write_lock_or_restart(version)
+
+    def write_unlock(self) -> None:
+        """Release the write lock, bumping the version."""
+        with self._cas:
+            if not self._word & _LOCKED:
+                raise RuntimeError("write_unlock without write lock")
+            self._word = (self._word & ~_LOCKED) + 0b100
+
+    def write_unlock_obsolete(self) -> None:
+        """Release and mark the node dead (it was replaced/merged away)."""
+        with self._cas:
+            if not self._word & _LOCKED:
+                raise RuntimeError("write_unlock_obsolete without write lock")
+            self._word = ((self._word & ~_LOCKED) + 0b100) | _OBSOLETE
+
+    @property
+    def is_locked(self) -> bool:
+        return bool(self._word & _LOCKED)
+
+    @property
+    def is_obsolete(self) -> bool:
+        return bool(self._word & _OBSOLETE)

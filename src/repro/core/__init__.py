@@ -1,0 +1,33 @@
+"""ALT-index core: the paper's primary contribution.
+
+- :mod:`repro.core.gpl` — the Greedy Pessimistic Linear segmentation
+  algorithm (Algorithm 1).
+- :mod:`repro.core.segmentation` — the comparison algorithms of Fig. 4
+  (ShrinkingCone from FITing-tree, LPA from FINEdex) behind a common
+  interface.
+- :mod:`repro.core.learned_layer` — GPL models (gapped slot arrays with
+  bitmap occupancy and per-slot versions) and the flattened learned index
+  layer (§III-B).
+- :mod:`repro.core.fast_pointer` — the fast pointer buffer with merge
+  scheme linking GPL models to ART subtrees (§III-C).
+- :mod:`repro.core.retrain` — dynamic retraining via temporal expansion
+  buffers (§III-F).
+- :mod:`repro.core.alt_index` — the :class:`ALTIndex` facade (§III-G).
+- :mod:`repro.core.analysis` — the error-bound/performance model of
+  §III-D (Equations 1-5) and the suggested ε = N/1000 rule.
+"""
+
+from repro.core.alt_index import ALTIndex
+from repro.core.analysis import predicted_latency_ns, suggest_error_bound
+from repro.core.gpl import Segment, gpl_partition
+from repro.core.segmentation import lpa_partition, shrinking_cone_partition
+
+__all__ = [
+    "ALTIndex",
+    "Segment",
+    "gpl_partition",
+    "lpa_partition",
+    "predicted_latency_ns",
+    "shrinking_cone_partition",
+    "suggest_error_bound",
+]

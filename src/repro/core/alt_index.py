@@ -1,0 +1,391 @@
+"""ALT-index: the hybrid learned index / ART facade (§III, Algorithm 2).
+
+Two tiers:
+
+- the **learned index layer** (:mod:`repro.core.learned_layer`) holds the
+  linearly-predictable data with *zero* prediction error — every resident
+  key sits exactly at its predicted slot;
+- the **ART-OPT layer** (:mod:`repro.art`) hosts conflict data — bulk-load
+  collisions and runtime inserts whose predicted slot is taken — reached
+  through the fast pointer buffer (:mod:`repro.core.fast_pointer`) so a
+  learned-layer miss skips the root-ward portion of the ART descent.
+
+Every operation follows Algorithm 2: binary-search the upper model for a
+GPL model, compute the predicted slot with one linear calculation, then
+branch on the slot state.  There is never an in-model secondary search.
+
+Options mirror the paper's ablation axes::
+
+    ALTIndex.bulk_load(keys,
+                       epsilon=...,         # default: the N/1000 rule
+                       fast_pointers=True,  # §III-C shortcut buffer
+                       merge_pointers=True, # §III-C2 merge scheme
+                       retraining=True)     # §III-F dynamic retraining
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.common import OrderedIndex, as_value_array, unique_tag
+from repro.core.analysis import suggest_error_bound
+from repro.core.fast_pointer import FastPointerBuffer
+from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, LearnedLayer
+from repro.core.retrain import finish_expansion, maybe_start_expansion
+from repro.sim.trace import MemoryMap, global_memory
+
+_UINT64_MAX = 2**64 - 1
+
+
+class ALTIndex(OrderedIndex):
+    """A hybrid Learned-index + ART concurrent ordered index."""
+
+    NAME = "ALT-index"
+
+    def __init__(
+        self,
+        *,
+        epsilon: float,
+        gap: float = 2.0,
+        fast_pointers: bool = True,
+        merge_pointers: bool = True,
+        retraining: bool = True,
+        memory: MemoryMap | None = None,
+        tag: str | None = None,
+    ):
+        self.epsilon = epsilon
+        self.gap = gap
+        self._memory = memory or global_memory()
+        self.mem_tag = tag or unique_tag("alt")
+        self._retraining = retraining
+        self._layer = LearnedLayer(self._memory, f"{self.mem_tag}/learned", gap)
+        self._art = AdaptiveRadixTree(self._memory, f"{self.mem_tag}/art")
+        self._fastptr: FastPointerBuffer | None = None
+        if fast_pointers:
+            self._fastptr = FastPointerBuffer(
+                self._art, merge_pointers, self._memory, f"{self.mem_tag}/fastptr"
+            )
+        self._size = 0
+        self._size_lock = threading.Lock()
+        self.conflict_inserts = 0
+        self.writebacks = 0
+        self.expansions = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        keys: np.ndarray,
+        values: Sequence | None = None,
+        *,
+        epsilon: float | None = None,
+        gap: float = 2.0,
+        fast_pointers: bool = True,
+        merge_pointers: bool = True,
+        retraining: bool = True,
+        memory: MemoryMap | None = None,
+        tag: str | None = None,
+    ) -> "ALTIndex":
+        """Build from sorted duplicate-free keys.
+
+        ε defaults to the paper's ``len(keys) / 1000`` recommendation
+        (§III-D).  Keys that collide at their predicted slot become the
+        initial conflict data of the ART-OPT layer; the fast pointer
+        buffer is built once both layers exist (§III-C1).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = as_value_array(keys, values)
+        if epsilon is None:
+            epsilon = suggest_error_bound(len(keys))
+        index = cls(
+            epsilon=epsilon,
+            gap=gap,
+            fast_pointers=fast_pointers,
+            merge_pointers=merge_pointers,
+            retraining=retraining,
+            memory=memory,
+            tag=tag,
+        )
+        layer, conflicts = LearnedLayer.bulk_build(
+            keys, values, epsilon, index._memory, f"{index.mem_tag}/learned", gap
+        )
+        index._layer = layer
+        for k, v in conflicts:
+            index._art.insert(k, v, upsert=True)
+        if index._fastptr is not None:
+            index._fastptr.build_for_layer(layer)
+        index._size = len(keys)
+        return index
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _bump(self, delta: int) -> None:
+        with self._size_lock:
+            self._size += delta
+
+    def _entry_for(self, index: int, model) -> object | None:
+        """Resolve (lazily registering) the model's fast-pointer entry."""
+        if self._fastptr is None:
+            return None
+        if model.fast_index < 0:
+            model.fast_index = self._fastptr.register(
+                model.first_key, self._layer.next_first_key(index)
+            )
+        return self._fastptr.entry(model.fast_index)
+
+    def _art_insert(self, key: int, value, index: int, model) -> bool:
+        entry = self._entry_for(index, model)
+        new = self._art.insert(key, value, from_node=entry, upsert=True)
+        self.conflict_inserts += 1
+        return new
+
+    def _route(self, key: int):
+        if not self._layer.models:
+            return None, None
+        return self._layer.route(key)
+
+    def _bootstrap_model(self, key: int) -> None:
+        """First insert into an empty index: seed a minimal GPL model."""
+        self._layer.append_overflow_model(key, 1.0, 64)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: Search
+    # ------------------------------------------------------------------
+    def get(self, key: int):
+        i, model = self._route(key)
+        if model is None:
+            return self._art.search(key)
+        slot = model.slot_of(key)
+        state, resident, value = model.read_slot(slot)
+        if state == FULL and resident == key:
+            return value
+        exp = model.expansion
+        if exp is not None:
+            found, bval = exp.lookup(key)
+            if found:
+                return bval
+        entry = self._entry_for(i, model)
+        value = self._art.search(key, from_node=entry)
+        if (
+            value is not None
+            and exp is None
+            and state in (EMPTY, TOMBSTONE)
+        ):
+            # Write-back: Algorithm 2 lines 10-13 — repatriate the key
+            # from ART into its (now free) predicted slot.
+            model.write_slot(slot, key, value)
+            self._art.remove(key)
+            self.writebacks += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value) -> bool:
+        i, model = self._route(key)
+        if model is None:
+            self._bootstrap_model(key)
+            i, model = self._route(key)
+
+        if self._retraining:
+            exp = model.expansion
+            if exp is None:
+                exp = maybe_start_expansion(
+                    model, self._memory, f"{self.mem_tag}/learned"
+                )
+                if exp is not None:
+                    self.expansions += 1
+            if exp is not None:
+                spilled_self = False
+
+                def spill(k, v):
+                    nonlocal spilled_self
+                    if k == key:
+                        spilled_self = True
+                    return self._art_insert(k, v, i, model)
+
+                new = exp.absorb(key, value, spill)
+                if new and not spilled_self and self._art.remove(key):
+                    # The key already lived in ART (its old predicted
+                    # slot was full); the buffer copy supersedes it.
+                    new = False
+                model.insert_count += 1
+                if exp.is_complete():
+                    finish_expansion(
+                        self._layer,
+                        i,
+                        lambda k, v: self._art_insert(k, v, i, model),
+                    )
+                if new:
+                    self._bump(1)
+                return new
+
+        slot = model.slot_of(key)
+        state, resident, _ = model.read_slot(slot)
+        if state == FULL:
+            if resident == key:
+                model.write_slot(slot, key, value)  # in-place upsert
+                return False
+            new = self._art_insert(key, value, i, model)
+            model.insert_count += 1
+            if new:
+                self._bump(1)
+            return new
+        if state == TOMBSTONE:
+            # The key may still live in ART (pre-write-back); upserting
+            # there keeps the one-home invariant for removed-then-
+            # reinserted conflict keys.
+            new = self._art_insert(key, value, i, model)
+            if new:
+                self._bump(1)
+            return new
+        model.write_slot(slot, key, value)
+        if key > model.last_key:
+            model.last_key = key
+        model.insert_count += 1
+        self._bump(1)
+        return True
+
+    # ------------------------------------------------------------------
+    # update / remove (§III-G)
+    # ------------------------------------------------------------------
+    def update(self, key: int, value) -> bool:
+        i, model = self._route(key)
+        if model is None:
+            return False
+        slot = model.slot_of(key)
+        state, resident, _ = model.read_slot(slot)
+        if state == FULL and resident == key:
+            model.write_slot(slot, key, value)
+            return True
+        exp = model.expansion
+        if exp is not None and exp.update(key, value):
+            return True
+        entry = self._entry_for(i, model)
+        if self._art.search(key, from_node=entry) is None:
+            return False
+        self._art.insert(key, value, from_node=entry, upsert=True)
+        return True
+
+    def remove(self, key: int) -> bool:
+        i, model = self._route(key)
+        if model is None:
+            removed = self._art.remove(key)
+            if removed:
+                self._bump(-1)
+            return removed
+        slot = model.slot_of(key)
+        state, resident, _ = model.read_slot(slot)
+        removed = False
+        if state == FULL and resident == key:
+            model.clear_slot(slot, tombstone=True)
+            removed = True
+        elif model.expansion is not None and model.expansion.remove(key):
+            removed = True
+        if not removed:
+            removed = self._art.remove(key)
+        if removed:
+            self._bump(-1)
+        return removed
+
+    # ------------------------------------------------------------------
+    # range operations (§III-G Range Query)
+    # ------------------------------------------------------------------
+    def _art_scan_lazy(self, lo: int, count: int):
+        """Chunked ART scan: the merge usually needs only the conflict
+        share of the range, so fetch in small batches."""
+        cursor = lo
+        chunk = max(8, count // 8)
+        while True:
+            batch = self._art.scan(cursor, chunk)
+            yield from batch
+            if len(batch) < chunk:
+                return
+            cursor = batch[-1][0] + 1
+
+    def scan(self, lo: int, count: int) -> list[tuple[int, object]]:
+        """Dual scan: GPL models and ART merged in key order."""
+        gpl = self._layer.items(lo, _UINT64_MAX)
+        art = self._art_scan_lazy(lo, count)
+        out: list[tuple[int, object]] = []
+        a = next(gpl, None)
+        b = next(art, None)
+        while len(out) < count and (a is not None or b is not None):
+            if b is None or (a is not None and a[0] <= b[0]):
+                if b is not None and a[0] == b[0]:
+                    b = next(art, None)  # GPL copy shadows a stale ART twin
+                out.append(a)
+                a = next(gpl, None)
+            else:
+                out.append(b)
+                b = next(art, None)
+        return out
+
+    def range_query(self, lo: int, hi: int) -> list[tuple[int, object]]:
+        gpl = list(self._layer.items(lo, hi))
+        art = self._art.items(lo, hi)
+        merged: list[tuple[int, object]] = []
+        ia = ib = 0
+        while ia < len(gpl) and ib < len(art):
+            ka, kb = gpl[ia][0], art[ib][0]
+            if ka <= kb:
+                if ka == kb:
+                    ib += 1
+                merged.append(gpl[ia])
+                ia += 1
+            else:
+                merged.append(art[ib])
+                ib += 1
+        merged.extend(gpl[ia:])
+        merged.extend(art[ib:])
+        return merged
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def art_path_length(self, key: int) -> int:
+        """ART nodes visited for ``key`` using the fast pointer (Fig. 10a)."""
+        i, model = self._route(key)
+        entry = self._entry_for(i, model) if model is not None else None
+        return self._art.lookup_path_length(key, from_node=entry)
+
+    @property
+    def art(self) -> AdaptiveRadixTree:
+        return self._art
+
+    @property
+    def layer(self) -> LearnedLayer:
+        return self._layer
+
+    @property
+    def fast_pointers(self) -> FastPointerBuffer | None:
+        return self._fastptr
+
+    def stats(self) -> dict:
+        learned = self._layer.occupancy()
+        art = len(self._art)
+        stats = {
+            "epsilon": self.epsilon,
+            "model_count": self._layer.model_count,
+            "learned_keys": learned,
+            "art_keys": art,
+            "learned_fraction": learned / max(learned + art, 1),
+            "total_slots": self._layer.total_slots(),
+            "conflict_inserts": self.conflict_inserts,
+            "writebacks": self.writebacks,
+            "expansions": self.expansions,
+            "memory_bytes": self.memory_bytes(),
+        }
+        if self._fastptr is not None:
+            stats["fast_pointers"] = self._fastptr.stats()
+        return stats

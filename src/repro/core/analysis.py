@@ -1,0 +1,87 @@
+"""Error-bound and performance analysis of §III-D (Equations 1-5).
+
+The paper models the interplay between the error bound ε and the two
+layers:
+
+- Eq. (1): ``N_total = δ_h · ε · N_model`` — model count is inversely
+  proportional to ε, with δ_h expressing how hard the dataset's CDF is
+  to fit with linear functions (Fig. 6a).
+- Eq. (2)/(3): the share of conflict data pushed to the ART-OPT layer
+  grows linearly with ε (the parallelogram-area argument of Fig. 4c).
+- Eq. (4): total average lookup latency — a ``log2`` model-locating term
+  that *shrinks* with ε plus an ART term that *grows* with ε.
+- Eq. (5): setting the derivative to zero gives the throughput peak; the
+  paper's practical recommendation is ε = N_total / 1000, which lands in
+  the broad "stable area" around the peak for all four datasets
+  (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def suggest_error_bound(n_total: int) -> int:
+    """The paper's recommended ε for bulk-loading ``n_total`` keys."""
+    return max(n_total // 1000, 16)
+
+
+def expected_model_count(n_total: int, epsilon: float, delta_h: float) -> float:
+    """Eq. (1) solved for the model count."""
+    if epsilon <= 0 or delta_h <= 0:
+        raise ValueError("epsilon and delta_h must be positive")
+    return n_total / (delta_h * epsilon)
+
+
+def fit_delta_h(n_total: int, epsilon: float, n_models: int) -> float:
+    """Back out the dataset's fitting difficulty δ_h from a measurement."""
+    if n_models <= 0:
+        raise ValueError("n_models must be positive")
+    return n_total / (epsilon * n_models)
+
+
+def art_fraction(epsilon: float, alpha0: float, epsilon0: float) -> float:
+    """Eq. (2)+(3): expected fraction of data in the ART-OPT layer."""
+    return min(1.0, alpha0 * epsilon / epsilon0)
+
+
+@dataclass(frozen=True)
+class LatencyModelParams:
+    """Constants of Eq. (4); defaults follow the paper's assumptions
+    (ε0 strongly correlates with N_total; c is a cache-miss latency)."""
+
+    delta_h: float = 1.0
+    alpha0: float = 0.5
+    k_cal: float = 2.0
+    k_art: float = 8.0
+    c_ns: float = 90.0
+
+    def epsilon0(self, n_total: int) -> float:
+        """ε that would host the whole dataset in one GPL model."""
+        return n_total / self.delta_h
+
+
+def predicted_latency_ns(
+    epsilon: float, n_total: int, params: LatencyModelParams | None = None
+) -> float:
+    """Eq. (4): modeled average lookup latency at error bound ε."""
+    p = params or LatencyModelParams()
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    n_models = max(n_total / (p.delta_h * epsilon), 1.0)
+    eps0 = p.epsilon0(n_total)
+    learned = math.log2(n_models) if n_models > 1 else 0.0
+    art = p.alpha0 * (epsilon / eps0) * p.k_art
+    return p.c_ns * (learned + p.k_cal + art)
+
+
+def optimal_epsilon(n_total: int, params: LatencyModelParams | None = None) -> float:
+    """Eq. (5): the ε where the derivative of Eq. (4) vanishes.
+
+    Setting ``-1/(ln2·ε) + α0·k_ART/ε0 = 0`` gives
+    ``ε* = ε0 / (ln2 · α0 · k_ART)``.
+    """
+    p = params or LatencyModelParams()
+    eps0 = p.epsilon0(n_total)
+    return eps0 / (math.log(2) * p.alpha0 * p.k_art)

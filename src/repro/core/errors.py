@@ -1,0 +1,15 @@
+"""Exception types shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class KeysNotSortedError(ReproError):
+    """Bulk-load input must be strictly increasing (the paper excludes
+    duplicate keys; none of the evaluated indexes support them)."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (node, bin) received more entries than
+    it can hold."""

@@ -1,0 +1,406 @@
+"""The flattened learned index layer of ALT-index (§III-B).
+
+The layer is a single sorted array of GPL models — no model hierarchy.
+Locating a model is one binary search over the models' first keys (the
+"upper model"); locating a slot inside a model is one linear-function
+evaluation.  There are no in-model secondary searches: every resident key
+sits exactly at its predicted slot, and anything that cannot (bulk-load
+collisions, insert conflicts) lives in the ART-OPT layer instead.
+
+A :class:`GPLModel` is a gapped slot array:
+
+- ``slot(key) = floor(gap · slope · (key - first_key))`` — the model's
+  mid-slope stretched by a gap factor so bulk loading leaves free slots
+  for future inserts (the paper's "array gaps scheme");
+- a bitmap marks occupied slots so probes skip empty ones cheaply;
+- each slot has a seqlock-style version for the §III-E odd/even
+  write protocol;
+- a slot is EMPTY (bitmap clear), FULL, or a TOMBSTONE (bitmap set,
+  key cleared — Algorithm 2 represents this as ``key == 0``); tombstones
+  are left by removals and by expansion evictions, and are refilled by
+  the write-back path of Algorithm 2 lines 10-13.
+
+Modeled layout per model: 64-byte header, 16 B per slot (key+value),
+1 bit per slot of bitmap, 4 B per slot of versions — this is what the
+memory-overhead experiment (Fig. 8a) accounts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.concurrency.version_lock import SlotVersionArray
+from repro.core.errors import KeysNotSortedError
+from repro.core.gpl import Segment, gpl_partition
+from repro.sim.trace import MemoryMap, active_tracer, current_tracer, global_memory
+
+_HEADER_BYTES = 64
+_SLOT_BYTES = 16
+_VERSION_BYTES = 4
+
+
+def _merge_sorted(a: Iterator, b: Iterator) -> Iterator[tuple[int, object]]:
+    """Merge two sorted (key, value) iterators with disjoint keys."""
+    item_a = next(a, None)
+    item_b = next(b, None)
+    while item_a is not None and item_b is not None:
+        if item_a[0] <= item_b[0]:
+            yield item_a
+            item_a = next(a, None)
+        else:
+            yield item_b
+            item_b = next(b, None)
+    while item_a is not None:
+        yield item_a
+        item_a = next(a, None)
+    while item_b is not None:
+        yield item_b
+        item_b = next(b, None)
+
+EMPTY = 0
+FULL = 1
+TOMBSTONE = 2
+
+
+def model_bytes(n_slots: int) -> int:
+    """Modeled allocation size of a GPL model with ``n_slots`` slots.
+
+    The per-slot version word lives in the slot itself (tag bits of the
+    value pointer, as C implementations of seqlock slots do), so a slot
+    is 16 bytes and only the bitmap adds overhead.
+    """
+    return _HEADER_BYTES + n_slots * _SLOT_BYTES + (n_slots + 7) // 8
+
+
+class GPLModel:
+    """One gapped, error-free linear model of the learned layer."""
+
+    __slots__ = (
+        "first_key",
+        "last_key",
+        "slope_eff",
+        "n_slots",
+        "keys",
+        "values",
+        "occupied",
+        "versions",
+        "span",
+        "fast_index",
+        "build_size",
+        "insert_count",
+        "expansion",
+        "_memory",
+        "_tag",
+    )
+
+    def __init__(
+        self,
+        first_key: int,
+        slope_eff: float,
+        n_slots: int,
+        memory: MemoryMap,
+        tag: str,
+    ):
+        self.first_key = first_key
+        self.last_key = first_key
+        self.slope_eff = slope_eff
+        self.n_slots = n_slots
+        self.keys: list[int | None] = [None] * n_slots
+        self.values: list = [None] * n_slots
+        self.occupied: list[bool] = [False] * n_slots
+        self.versions = SlotVersionArray(n_slots)
+        self.span = memory.alloc(model_bytes(n_slots), tag)
+        self.fast_index = -1
+        self.build_size = 0
+        self.insert_count = 0
+        self.expansion = None  # ExpansionBuffer during retraining (§III-F)
+        self._memory = memory
+        self._tag = tag
+
+    # -- geometry ---------------------------------------------------------
+    def slot_of(self, key: int) -> int:
+        """Predicted slot, clamped into the array."""
+        s = int(self.slope_eff * (key - self.first_key))
+        if s < 0:
+            return 0
+        if s >= self.n_slots:
+            return self.n_slots - 1
+        return s
+
+    # -- tracing helpers ---------------------------------------------------
+    def _slot_line(self, slot: int) -> int:
+        return self.span.line(_HEADER_BYTES + slot * _SLOT_BYTES)
+
+    def _bitmap_line(self, slot: int) -> int:
+        return self.span.line(_HEADER_BYTES + self.n_slots * _SLOT_BYTES + slot // 8)
+
+    def _trace_read(self, slot: int) -> None:
+        t = current_tracer()
+        if t is not None:
+            t.model_calcs += 1
+            t.reads.append(self._bitmap_line(slot))
+            t.reads.append(self._slot_line(slot))
+
+    def _trace_write(self, slot: int) -> None:
+        t = current_tracer()
+        if t is not None:
+            t.writes.append(self._slot_line(slot))
+            t.writes.append(self._bitmap_line(slot))
+
+    # -- slot access (§III-E seqlock protocol) ------------------------------
+    def read_slot(self, slot: int) -> tuple[int, int | None, object]:
+        """Optimistically read a slot; returns (state, key, value)."""
+        self._trace_read(slot)
+        while True:
+            v = self.versions.read_begin(slot)
+            occ = self.occupied[slot]
+            key = self.keys[slot]
+            value = self.values[slot]
+            if self.versions.read_validate(slot, v):
+                break
+            t = current_tracer()
+            if t is not None:
+                t.retries += 1
+        if not occ:
+            return EMPTY, None, None
+        if key is None:
+            return TOMBSTONE, None, None
+        return FULL, key, value
+
+    def write_slot(self, slot: int, key: int | None, value) -> None:
+        """Latch the slot version odd, publish, flip even."""
+        self.versions.write_begin(slot)
+        self.keys[slot] = key
+        self.values[slot] = value
+        self.occupied[slot] = True
+        self.versions.write_end(slot)
+        self._trace_write(slot)
+
+    def clear_slot(self, slot: int, tombstone: bool = True) -> None:
+        """Remove a slot's payload, leaving a tombstone by default."""
+        self.versions.write_begin(slot)
+        self.keys[slot] = None
+        self.values[slot] = None
+        self.occupied[slot] = tombstone
+        self.versions.write_end(slot)
+        self._trace_write(slot)
+
+    # -- bulk loading -------------------------------------------------------
+    def place_bulk(self, keys: np.ndarray, values) -> list[tuple[int, object]]:
+        """Place sorted keys at their predicted slots; returns conflicts.
+
+        Collisions are adjacent (the slot function is monotone), so the
+        first key of each equal-slot run wins and the rest are returned
+        for the ART-OPT layer (the paper's conflict data).
+        """
+        if len(keys) == 0:
+            return []
+        # Exact integer subtraction first: keys can exceed 2^53 and the
+        # placement must agree bit-for-bit with slot_of()'s arithmetic.
+        rel = (keys - np.uint64(self.first_key)).astype(np.float64)
+        slots = (self.slope_eff * rel).astype(np.int64)
+        np.clip(slots, 0, self.n_slots - 1, out=slots)
+        win = np.ones(len(keys), dtype=bool)
+        win[1:] = slots[1:] != slots[:-1]
+        conflicts: list[tuple[int, object]] = []
+        kl = self.keys
+        vl = self.values
+        oc = self.occupied
+        for i in range(len(keys)):
+            k = int(keys[i])
+            if win[i]:
+                s = int(slots[i])
+                kl[s] = k
+                vl[s] = values[i]
+                oc[s] = True
+            else:
+                conflicts.append((k, values[i]))
+        self.build_size = int(win.sum())
+        self.last_key = int(keys[-1])
+        return conflicts
+
+    # -- introspection -------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of live keys resident in this model."""
+        return sum(1 for i, occ in enumerate(self.occupied) if occ and self.keys[i] is not None)
+
+    def iter_slots(self, lo_slot: int = 0, hi_slot: int | None = None) -> Iterator[tuple[int, object]]:
+        """Live (key, value) pairs in slot (== key) order.
+
+        Scans touch each slot line once (4 slots per 64-byte line).
+        """
+        hi = self.n_slots if hi_slot is None else min(hi_slot, self.n_slots)
+        t = current_tracer()
+        for s in range(lo_slot, hi):
+            if t is not None and s % 4 == 0:
+                t.reads.append(self._slot_line(s))
+            if self.occupied[s]:
+                k = self.keys[s]
+                if k is not None:
+                    yield k, self.values[s]
+
+    def free(self) -> None:
+        self.span.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GPLModel(first={self.first_key}, slots={self.n_slots}, "
+            f"built={self.build_size})"
+        )
+
+
+class LearnedLayer:
+    """Sorted flat array of GPL models plus the binary-searched upper model."""
+
+    def __init__(self, memory: MemoryMap | None = None, tag: str = "alt/learned", gap: float = 2.0):
+        self._memory = memory or global_memory()
+        self._tag = tag
+        self.gap = gap
+        self.models: list[GPLModel] = []
+        self._first_keys = np.empty(0, dtype=np.uint64)
+        self._upper_span = None
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def bulk_build(
+        cls,
+        keys: np.ndarray,
+        values,
+        epsilon: float,
+        memory: MemoryMap | None = None,
+        tag: str = "alt/learned",
+        gap: float = 2.0,
+    ) -> tuple["LearnedLayer", list[tuple[int, object]]]:
+        """GPL-partition sorted keys into models; returns (layer, conflicts)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        layer = cls(memory, tag, gap)
+        if len(keys) == 0:
+            layer._rebuild_upper()
+            return layer, []
+        segments = gpl_partition(keys, epsilon)
+        conflicts: list[tuple[int, object]] = []
+        for seg in segments:
+            seg_keys = keys[seg.start : seg.end]
+            seg_vals = values[seg.start : seg.end]
+            model = layer._new_model_for(seg, seg_keys)
+            conflicts.extend(model.place_bulk(seg_keys, seg_vals))
+            layer.models.append(model)
+        layer._rebuild_upper()
+        return layer, conflicts
+
+    def _new_model_for(self, seg: Segment, seg_keys: np.ndarray) -> GPLModel:
+        slope_eff = seg.slope * self.gap
+        if len(seg_keys) == 1:
+            n_slots = 2
+            slope_eff = 1.0
+        else:
+            span_keys = float(int(seg_keys[-1]) - int(seg_keys[0]))
+            n_slots = int(slope_eff * span_keys) + 2
+            n_slots = max(n_slots, len(seg_keys))
+        return GPLModel(int(seg_keys[0]), slope_eff, n_slots, self._memory, self._tag)
+
+    def _rebuild_upper(self) -> None:
+        self._first_keys = np.array([m.first_key for m in self.models], dtype=np.uint64)
+        if self._upper_span is not None:
+            self._upper_span.free()
+        self._upper_span = self._memory.alloc(max(len(self.models) * 8, 8), self._tag)
+
+    def append_overflow_model(self, first_key: int, slope_eff: float, n_slots: int) -> GPLModel:
+        """New rightmost model for out-of-range inserts (§III-F)."""
+        if self.models and first_key <= self.models[-1].first_key:
+            raise KeysNotSortedError("overflow model must extend the key range")
+        model = GPLModel(first_key, slope_eff, max(n_slots, 2), self._memory, self._tag)
+        self.models.append(model)
+        self._rebuild_upper()
+        return model
+
+    def replace_model(self, index: int, new_model: GPLModel) -> None:
+        """Swap in an expanded model (same first_key, new geometry)."""
+        old = self.models[index]
+        new_model.fast_index = old.fast_index
+        self.models[index] = new_model
+        old.free()
+
+    # -- routing (the "upper model") -----------------------------------------
+    def route(self, key: int) -> tuple[int, GPLModel]:
+        """Binary-search the model covering ``key`` (Algorithm 2 line 2)."""
+        n = len(self.models)
+        if n == 0:
+            raise LookupError("empty learned layer")
+        t = current_tracer()
+        if t is None:
+            i = int(np.searchsorted(self._first_keys, np.uint64(key), side="right")) - 1
+            return (0, self.models[0]) if i < 0 else (i, self.models[i])
+        # Traced: walk the real probe sequence so the simulator sees the
+        # true touch pattern of the upper-model array.
+        lo, hi = 0, n
+        fk = self._first_keys
+        span = self._upper_span
+        while lo < hi:
+            mid = (lo + hi) // 2
+            t.comparisons += 1
+            t.reads.append(span.line(mid * 8))
+            if int(fk[mid]) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        i = lo - 1
+        return (0, self.models[0]) if i < 0 else (i, self.models[i])
+
+    def next_first_key(self, index: int) -> int | None:
+        """First key of the model after ``index`` (fast pointer pairing)."""
+        if index + 1 < len(self.models):
+            return self.models[index + 1].first_key
+        return None
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def model_count(self) -> int:
+        return len(self.models)
+
+    def occupancy(self) -> int:
+        """Live keys in the layer, including active expansion buffers."""
+        total = 0
+        for m in self.models:
+            total += m.occupancy()
+            if m.expansion is not None:
+                total += m.expansion.buffer.occupancy()
+        return total
+
+    def total_slots(self) -> int:
+        total = 0
+        for m in self.models:
+            total += m.n_slots
+            if m.expansion is not None:
+                total += m.expansion.buffer.n_slots
+        return total
+
+    def items(self, lo: int, hi: int) -> Iterator[tuple[int, object]]:
+        """Sorted live pairs with lo <= key <= hi across all models.
+
+        Models under expansion contribute both their remaining slots and
+        their temporal buffer (the two are disjoint: evicted slots are
+        tombstoned).
+        """
+        if not self.models:
+            return
+        start = int(np.searchsorted(self._first_keys, np.uint64(lo), side="right")) - 1
+        start = max(start, 0)
+        for m in self.models[start:]:
+            if m.first_key > hi:
+                return
+            lo_slot = m.slot_of(lo) if lo >= m.first_key else 0
+            if m.expansion is None:
+                source = m.iter_slots(lo_slot)
+            else:
+                buf = m.expansion.buffer
+                buf_lo = buf.slot_of(lo) if lo >= buf.first_key else 0
+                source = _merge_sorted(m.iter_slots(lo_slot), buf.iter_slots(buf_lo))
+            for k, v in source:
+                if k > hi:
+                    return
+                if k >= lo:
+                    yield k, v

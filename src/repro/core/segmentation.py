@@ -1,0 +1,134 @@
+"""Competitor segmentation algorithms (Fig. 4 comparison).
+
+- :func:`shrinking_cone_partition` — the ShrinkingCone algorithm of
+  FITing-tree (Galakatos et al., SIGMOD 2019).  For every accepted point
+  ``(x, y)`` the cone through the segment origin is re-tightened against
+  the lines through ``(x, y + ε)`` and ``(x, y - ε)``, which updates both
+  slopes on nearly every point — the update churn the paper contrasts
+  with GPL's pessimistic envelope.
+
+- :func:`lpa_partition` — the Learning Probe Algorithm of FINEdex
+  (Li et al., VLDB 2021).  LPA repeatedly *probes*: it fits a least
+  squares line over a candidate window, tests the maximum residual
+  against ε, and grows the window while the fit holds, refitting each
+  probe.  Refits make it O(n·probes) and it fragments hard-to-fit data
+  into many small models (Fig. 3a / Fig. 4c).
+
+Both return the same :class:`~repro.core.gpl.Segment` records as GPL so
+the algorithms are interchangeable inside indexes and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gpl import PartitionStats, Segment, _validate
+
+
+def shrinking_cone_partition(
+    keys: np.ndarray, epsilon: float, stats: PartitionStats | None = None
+) -> list[Segment]:
+    """Partition with FITing-tree's ShrinkingCone algorithm."""
+    keys = _validate(keys)
+    n = len(keys)
+    if n == 0:
+        return []
+    segments: list[Segment] = []
+    start = 0
+    while start < n:
+        k0 = int(keys[start])
+        sl_high = np.inf
+        sl_low = -np.inf
+        i = start + 1
+        while i < n:
+            dx = float(int(keys[i]) - k0)  # exact above 2^53
+            dy = float(i - start)
+            slope = dy / dx
+            if stats is not None:
+                stats.points_scanned += 1
+            if not (sl_low <= slope <= sl_high):
+                break
+            # Re-tighten the cone against (x, y ± ε): both bounds move on
+            # almost every accepted point.
+            new_high = (dy + epsilon) / dx
+            new_low = (dy - epsilon) / dx
+            if new_high < sl_high:
+                sl_high = new_high
+                if stats is not None:
+                    stats.slope_updates += 1
+            if new_low > sl_low:
+                sl_low = new_low
+                if stats is not None:
+                    stats.slope_updates += 1
+            i += 1
+        length = i - start
+        if length == 1:
+            slope = 1.0
+        else:
+            high = sl_high if np.isfinite(sl_high) else 1.0
+            low = sl_low if np.isfinite(sl_low) else high
+            slope = (high + low) / 2.0
+        segments.append(Segment(start, length, int(keys[start]), slope))
+        start = i
+    return segments
+
+
+def _max_residual(x: np.ndarray, y: np.ndarray, slope: float, intercept: float) -> float:
+    return float(np.abs(y - (slope * x + intercept)).max())
+
+
+def _ols(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Least-squares line; degenerate windows fall back to a unit ramp."""
+    xm = x.mean()
+    ym = y.mean()
+    denom = ((x - xm) ** 2).sum()
+    if denom == 0.0:
+        return 1.0, ym - xm
+    slope = float(((x - xm) * (y - ym)).sum() / denom)
+    return slope, float(ym - slope * xm)
+
+
+def lpa_partition(
+    keys: np.ndarray,
+    epsilon: float,
+    probe: int = 256,
+    stats: PartitionStats | None = None,
+) -> list[Segment]:
+    """Partition with FINEdex's Learning Probe Algorithm.
+
+    Grows each model window by ``probe`` keys per iteration, refitting a
+    least-squares line and testing the max residual against ε; on
+    failure, binary-probes back to the largest window that still fits.
+    """
+    keys = _validate(keys)
+    n = len(keys)
+    if n == 0:
+        return []
+    kf = keys.astype(np.float64)
+    segments: list[Segment] = []
+    start = 0
+    while start < n:
+        k0 = kf[start]
+        good_end = min(start + 2, n)
+        end = min(start + probe, n)
+        slope = 1.0
+        while True:
+            x = kf[start:end] - k0
+            y = np.arange(end - start, dtype=np.float64)
+            s, b = _ols(x, y)
+            if stats is not None:
+                stats.refits += 1
+                stats.points_scanned += end - start
+            if _max_residual(x, y, s, b) <= epsilon:
+                good_end = end
+                slope = s
+                if end == n:
+                    break
+                end = min(end + probe, n)
+            else:
+                if end - good_end <= 1:
+                    break
+                end = good_end + (end - good_end) // 2
+        segments.append(Segment(start, good_end - start, int(keys[start]), slope))
+        start = good_end
+    return segments

@@ -1,0 +1,31 @@
+"""Synthetic equivalents of the paper's four datasets (§IV-A1).
+
+The paper uses 200M-key real-world datasets (SOSD ``fb`` and ``osm``,
+plus ``libio`` and ``longlat``).  Those files are not available offline
+and 200M keys is far beyond Python-scale, so :mod:`repro.datasets.generators`
+produces sorted, duplicate-free uint64 arrays that reproduce each
+dataset's published CDF character — the only property that matters to a
+learned index — at configurable scale.  :mod:`repro.datasets.sosd`
+provides SOSD-format binary I/O so real files can be dropped in.
+"""
+
+from repro.datasets.generators import (
+    DATASET_NAMES,
+    dataset,
+    fb,
+    libio,
+    longlat,
+    osm,
+)
+from repro.datasets.sosd import read_sosd, write_sosd
+
+__all__ = [
+    "DATASET_NAMES",
+    "dataset",
+    "fb",
+    "libio",
+    "longlat",
+    "osm",
+    "read_sosd",
+    "write_sosd",
+]

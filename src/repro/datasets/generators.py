@@ -1,0 +1,135 @@
+"""Synthetic dataset generators mirroring the paper's four datasets.
+
+Each generator controls the property learned indexes care about — the
+local linearity of the CDF (the paper's fitting difficulty δ_h):
+
+- :func:`libio` — repository ids from libraries.io: mostly consecutive
+  integers with occasional gaps.  Near-linear CDF, the *easiest* to fit;
+  the paper reports >80% of libio absorbed by the learned layer
+  (Fig. 10c).
+- :func:`fb` — Facebook user ids: dense allocation runs separated by
+  heavy-tailed (lognormal) jumps.  Moderately hard.
+- :func:`osm` — OpenStreetMap cell ids: many narrow clusters spread over
+  a huge key space.  Hard: piecewise-dense with abrupt density changes
+  (the dataset where ALEX+'s data shifting hurts most, Table I).
+- :func:`longlat` — transformed longitude/latitude pairs: 2-D cluster
+  structure flattened into 1-D, producing a highly non-linear CDF.
+  Hardest to fit.
+
+All generators return exactly ``n`` sorted, duplicate-free uint64 keys
+and are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DATASET_NAMES = ("fb", "libio", "osm", "longlat")
+
+_KEY_SPACE = np.uint64(2**62)
+
+
+def _density_field(rng: np.random.Generator, n: int, scale: int = 400, sigma: float = 0.8) -> np.ndarray:
+    """Smooth multiplicative density modulation.
+
+    Real-world key populations have slowly varying allocation density
+    (curvature in the CDF), which is what forces error-bounded
+    segmentation to cut: a linear fit over a curved window accumulates
+    residual quadratically.  This is the property behind the paper's
+    model-count results (Fig. 3a), distinct from per-gap noise.
+    """
+    knots = rng.normal(0.0, sigma, size=max(n // scale, 2) + 2)
+    x = np.linspace(0, len(knots) - 1, n)
+    return np.exp(np.interp(x, np.arange(len(knots)), knots))
+
+
+def _finalize(raw: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Dedupe, clip to the key space, and top up to exactly n keys."""
+    keys = np.unique(raw.astype(np.uint64) % _KEY_SPACE)
+    while len(keys) < n:
+        extra = rng.integers(0, int(_KEY_SPACE), size=(n - len(keys)) * 2 + 16)
+        keys = np.unique(np.concatenate([keys, extra.astype(np.uint64)]))
+    if len(keys) > n:
+        pick = rng.choice(len(keys), size=n, replace=False)
+        keys = np.sort(keys[np.sort(pick)])
+    return keys
+
+
+def libio(n: int, seed: int = 0) -> np.ndarray:
+    """Near-consecutive ids with occasional gaps (easiest CDF)."""
+    rng = np.random.default_rng(seed)
+    # Ids are allocated mostly densely but with pervasive small holes
+    # (deleted/private repositories) and rare large jumps.
+    gaps = rng.geometric(0.25, size=n).astype(np.float64)
+    gaps = np.maximum(gaps * _density_field(rng, n, scale=600, sigma=0.5), 1.0)
+    jump_mask = rng.random(n) < 0.005
+    gaps[jump_mask] = rng.pareto(1.5, size=int(jump_mask.sum())) * 1_000 + 2
+    keys = np.cumsum(gaps).astype(np.uint64) + np.uint64(10_000_000)
+    return _finalize(keys, n, rng)
+
+
+def fb(n: int, seed: int = 0) -> np.ndarray:
+    """Dense id runs separated by heavy-tailed jumps."""
+    rng = np.random.default_rng(seed)
+    gaps = np.exp(rng.normal(0.0, 1.8, size=n)).astype(np.float64) + 1.0
+    run_mask = rng.random(n) < 0.35
+    gaps[run_mask] = 1.0
+    gaps = np.maximum(gaps * _density_field(rng, n, scale=300, sigma=1.0), 1.0)
+    scale = float(2**48) / gaps.sum()
+    keys = np.cumsum(gaps * scale).astype(np.uint64)
+    return _finalize(keys, n, rng)
+
+
+def osm(n: int, seed: int = 0) -> np.ndarray:
+    """Clustered cell ids: many narrow clusters over a huge space."""
+    rng = np.random.default_rng(seed)
+    n_clusters = max(n // 500, 8)
+    # Integer arithmetic throughout: centers live near 2^62, where
+    # adding a small float offset would round to 512-key multiples.
+    centers = rng.integers(0, int(_KEY_SPACE), size=n_clusters).astype(np.int64)
+    weights = rng.pareto(1.2, size=n_clusters) + 0.05
+    weights /= weights.sum()
+    assignment = rng.choice(n_clusters, size=int(n * 1.3), p=weights)
+    widths = np.exp(rng.normal(9.0, 2.0, size=n_clusters))
+    offsets = rng.normal(0.0, widths[assignment]).astype(np.int64)
+    keys = np.abs(centers[assignment] + offsets).astype(np.uint64)
+    return _finalize(keys, n, rng)
+
+
+def longlat(n: int, seed: int = 0) -> np.ndarray:
+    """Projected (longitude, latitude) points with 2-D cluster structure."""
+    rng = np.random.default_rng(seed)
+    n_blobs = max(n // 2000, 4)
+    blob_lon = rng.uniform(-180, 180, size=n_blobs)
+    blob_lat = rng.uniform(-60, 70, size=n_blobs)
+    weights = rng.pareto(1.0, size=n_blobs) + 0.1
+    weights /= weights.sum()
+    assignment = rng.choice(n_blobs, size=int(n * 1.2), p=weights)
+    # Heavy-tailed offsets: population density around a city centre
+    # falls off with rough, non-Gaussian local structure.
+    r = np.exp(rng.normal(0.0, 1.6, size=len(assignment)))
+    angle = rng.uniform(0, 2 * np.pi, size=len(assignment))
+    lon = blob_lon[assignment] + 0.2 * r * np.cos(angle)
+    lat = blob_lat[assignment] + 0.12 * r * np.sin(angle)
+    lon = np.clip(lon, -180, 180)
+    lat = np.clip(lat, -90, 90)
+    # The paper's transformation: combine longitude and latitude into a
+    # single integer key (degree-scaled concatenation).
+    keys = ((lon + 180.0) * 1e9).astype(np.uint64) * np.uint64(2_000_000) + (
+        (lat + 90.0) * 1e4
+    ).astype(np.uint64)
+    return _finalize(keys, n, rng)
+
+
+_GENERATORS = {"fb": fb, "libio": libio, "osm": osm, "longlat": longlat}
+
+
+def dataset(name: str, n: int, seed: int = 0) -> np.ndarray:
+    """Generate the named dataset at the given scale."""
+    try:
+        gen = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        ) from None
+    return gen(n, seed)

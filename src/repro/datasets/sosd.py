@@ -1,0 +1,36 @@
+"""SOSD binary format I/O (Kipf et al., 2019).
+
+SOSD datasets are flat little-endian files: a uint64 element count
+followed by that many uint64 keys.  The paper draws ``fb`` and ``osm``
+from SOSD; with real files available these loaders let them be used
+directly in place of the synthetic generators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def write_sosd(path: str | Path, keys: np.ndarray) -> None:
+    """Write keys in SOSD binary format (count header + uint64 data)."""
+    keys = np.asarray(keys, dtype="<u8")
+    with open(path, "wb") as f:
+        np.array([len(keys)], dtype="<u8").tofile(f)
+        keys.tofile(f)
+
+
+def read_sosd(path: str | Path, limit: int | None = None) -> np.ndarray:
+    """Read a SOSD binary file; optionally only the first ``limit`` keys."""
+    with open(path, "rb") as f:
+        header = np.fromfile(f, dtype="<u8", count=1)
+        if len(header) != 1:
+            raise ValueError(f"{path}: missing SOSD count header")
+        count = int(header[0])
+        if limit is not None:
+            count = min(count, limit)
+        keys = np.fromfile(f, dtype="<u8", count=count)
+    if len(keys) != count:
+        raise ValueError(f"{path}: truncated SOSD file")
+    return keys.astype(np.uint64)

@@ -1,0 +1,43 @@
+"""Deterministic concurrency and cost simulation.
+
+The paper evaluates ALT-index on a 36-core machine with up to 32 hardware
+threads.  Python's GIL makes real-thread throughput numbers meaningless, so
+this package provides the performance half of the reproduction:
+
+- :mod:`repro.sim.trace` — cost tracing: every index operation records the
+  cache lines it touches and the work it performs.
+- :mod:`repro.sim.cost_model` — converts trace events to nanoseconds using a
+  single calibrated cost model shared by every index.
+- :mod:`repro.sim.engine` — a discrete-event simulator that replays traced
+  operations on N virtual threads, modelling cache locality, cross-thread
+  cache-line invalidation, optimistic-retry conflicts, and DRAM bandwidth
+  saturation.
+- :mod:`repro.sim.metrics` — throughput and latency-percentile summaries.
+"""
+
+from repro.sim.cost_model import CostModel
+from repro.sim.engine import SimConfig, SimResult, simulate
+from repro.sim.metrics import LatencySummary, summarize_latencies
+from repro.sim.trace import (
+    CostTrace,
+    LineSpan,
+    MemoryMap,
+    current_tracer,
+    global_memory,
+    tracer,
+)
+
+__all__ = [
+    "CostModel",
+    "CostTrace",
+    "LatencySummary",
+    "LineSpan",
+    "MemoryMap",
+    "SimConfig",
+    "SimResult",
+    "current_tracer",
+    "global_memory",
+    "simulate",
+    "summarize_latencies",
+    "tracer",
+]

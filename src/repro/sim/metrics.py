@@ -1,0 +1,41 @@
+"""Latency/throughput summaries shared by the bench harness and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Standard latency percentiles in nanoseconds."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    p999_ns: float
+    max_ns: float
+
+    @property
+    def p999_us(self) -> float:
+        """P99.9 in microseconds (the unit used in the paper's Table I)."""
+        return self.p999_ns / 1e3
+
+
+def summarize_latencies(latencies_ns: Iterable[float] | np.ndarray) -> LatencySummary:
+    """Compute the percentile summary of per-operation latencies."""
+    arr = np.asarray(list(latencies_ns) if not isinstance(latencies_ns, np.ndarray) else latencies_ns, dtype=np.float64)
+    if arr.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p50, p99, p999 = np.percentile(arr, [50, 99, 99.9])
+    return LatencySummary(
+        count=int(arr.size),
+        mean_ns=float(arr.mean()),
+        p50_ns=float(p50),
+        p99_ns=float(p99),
+        p999_ns=float(p999),
+        max_ns=float(arr.max()),
+    )

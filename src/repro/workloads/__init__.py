@@ -1,0 +1,38 @@
+"""Workload generation (§IV-A2).
+
+Seven workload types: read-only, read-heavy (80/20), read-write-balanced
+(50/50), write-heavy (20/80), write-only, hot-write (inserts from a
+reserved consecutive key range to stress retraining), and short scans
+(100-key scans).  Reads follow a zipfian distribution with θ = 0.99 over
+a scrambled rank order; inserts are uniform over the reserved keys.
+"""
+
+from repro.workloads.generator import Operation, generate_ops, split_dataset
+from repro.workloads.spec import (
+    BALANCED,
+    HOT_WRITE,
+    READ_HEAVY,
+    READ_ONLY,
+    SCAN,
+    WORKLOADS,
+    WRITE_HEAVY,
+    WRITE_ONLY,
+    WorkloadSpec,
+)
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "BALANCED",
+    "HOT_WRITE",
+    "Operation",
+    "READ_HEAVY",
+    "READ_ONLY",
+    "SCAN",
+    "WORKLOADS",
+    "WRITE_HEAVY",
+    "WRITE_ONLY",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "generate_ops",
+    "split_dataset",
+]

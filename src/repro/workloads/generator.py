@@ -1,0 +1,122 @@
+"""Operation-stream generation for the benchmark harness (§IV-A2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.zipf import ZipfSampler
+
+OpKind = Literal["read", "insert", "scan"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One benchmark operation."""
+
+    kind: OpKind
+    key: int
+    length: int = 0  # scan length for scans
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """Bulk-load / insert-reserve split of a dataset (§IV-A2)."""
+
+    load_keys: np.ndarray
+    insert_keys: np.ndarray
+    hot_keys: np.ndarray
+
+
+def split_dataset(
+    keys: np.ndarray, load_frac: float = 0.5, hot_frac: float = 0.1, seed: int = 0
+) -> DatasetSplit:
+    """Partition sorted keys into bulk-load and insert-reserve sets.
+
+    The bulk-load set interleaves with the reserve (even/odd positions)
+    so runtime inserts land throughout the key space, as when inserting
+    the second half of a shuffled dataset.  ``hot_keys`` is a reserved
+    *consecutive* slice used by the hot-write workload.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    n = len(keys)
+    rng = np.random.default_rng(seed)
+    stride = max(int(round(1.0 / max(load_frac, 1e-9))), 1)
+    load_mask = np.zeros(n, dtype=bool)
+    load_mask[::stride] = True
+    # Adjust to the exact fraction by flipping random positions.
+    target = int(n * load_frac)
+    loaded = int(load_mask.sum())
+    if loaded > target:
+        on = np.flatnonzero(load_mask)
+        load_mask[rng.choice(on, size=loaded - target, replace=False)] = False
+    elif loaded < target:
+        off = np.flatnonzero(~load_mask)
+        load_mask[rng.choice(off, size=target - loaded, replace=False)] = True
+    load_keys = keys[load_mask]
+    rest = keys[~load_mask]
+    hot_n = max(int(len(rest) * hot_frac), 1)
+    hot_start = len(rest) // 2
+    hot_keys = rest[hot_start : hot_start + hot_n]
+    return DatasetSplit(load_keys, rest, hot_keys)
+
+
+def generate_ops(
+    spec: WorkloadSpec,
+    split: DatasetSplit,
+    n_ops: int,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> list[Operation]:
+    """Generate the paper's operation mix.
+
+    Reads are zipfian(θ) over the bulk-loaded keys; inserts are uniform
+    over the reserve (or sequential over the hot range for hot-write);
+    scans start at zipfian keys and cover ``spec.scan_length`` keys.
+    """
+    rng = np.random.default_rng(seed + 1)
+    load = split.load_keys
+    reserve = split.hot_keys if spec.hot_insert else split.insert_keys
+    if len(load) == 0:
+        raise ValueError("empty bulk-load set")
+
+    kinds = rng.choice(
+        3,
+        size=n_ops,
+        p=[spec.read_frac, spec.insert_frac, spec.scan_frac],
+    )
+    n_reads = int((kinds == 0).sum()) + int((kinds == 2).sum())
+
+    n_inserts = int((kinds == 1).sum())
+    if n_inserts > len(reserve):
+        reps = n_inserts // max(len(reserve), 1) + 1
+        reserve = np.tile(reserve, reps)
+    if spec.hot_insert:
+        insert_keys = reserve[:n_inserts]  # sequential: hot consecutive range
+    else:
+        insert_keys = reserve[rng.permutation(len(reserve))[:n_inserts]]
+
+    # Reads target the live key population: bulk-loaded keys plus this
+    # run's inserts.  This matters for fidelity — where an index *puts*
+    # inserted keys (GPL slots vs delta buffers vs level bins) is
+    # exactly what read-write workloads measure.
+    pool = np.concatenate([load, insert_keys]) if n_inserts else load
+    zipf = ZipfSampler(len(pool), theta, seed + 2)
+    read_keys = pool[zipf.sample(n_reads)]
+
+    ops: list[Operation] = []
+    ri = ii = 0
+    for kind in kinds:
+        if kind == 0:
+            ops.append(Operation("read", int(read_keys[ri])))
+            ri += 1
+        elif kind == 1:
+            ops.append(Operation("insert", int(insert_keys[ii])))
+            ii += 1
+        else:
+            ops.append(Operation("scan", int(read_keys[ri]), spec.scan_length))
+            ri += 1
+    return ops

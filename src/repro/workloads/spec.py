@@ -1,0 +1,49 @@
+"""Workload mix specifications (§IV-A2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix of one workload.
+
+    Fractions must sum to 1.  ``hot_insert`` selects the hot-write
+    variant where inserts come from a reserved *consecutive* key range,
+    repeatedly triggering the dynamic retraining path (Fig. 8b).
+    """
+
+    name: str
+    read_frac: float
+    insert_frac: float
+    scan_frac: float = 0.0
+    scan_length: int = 100
+    hot_insert: bool = False
+
+    def __post_init__(self) -> None:
+        total = self.read_frac + self.insert_frac + self.scan_frac
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload fractions sum to {total}, expected 1.0")
+
+
+READ_ONLY = WorkloadSpec("read-only", 1.0, 0.0)
+READ_HEAVY = WorkloadSpec("read-heavy", 0.8, 0.2)
+BALANCED = WorkloadSpec("balanced", 0.5, 0.5)
+WRITE_HEAVY = WorkloadSpec("write-heavy", 0.2, 0.8)
+WRITE_ONLY = WorkloadSpec("write-only", 0.0, 1.0)
+HOT_WRITE = WorkloadSpec("hot-write", 0.5, 0.5, hot_insert=True)
+SCAN = WorkloadSpec("scan", 0.0, 0.0, scan_frac=1.0, scan_length=100)
+
+WORKLOADS = {
+    spec.name: spec
+    for spec in (
+        READ_ONLY,
+        READ_HEAVY,
+        BALANCED,
+        WRITE_HEAVY,
+        WRITE_ONLY,
+        HOT_WRITE,
+        SCAN,
+    )
+}

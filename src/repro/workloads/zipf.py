@@ -1,0 +1,40 @@
+"""Bounded zipfian sampling over N items (YCSB-style).
+
+Rank ``r`` (1-based) is drawn with probability proportional to
+``1 / r^theta``; ranks are then mapped through a random permutation so
+popularity is not correlated with key order (as YCSB's scrambled
+zipfian does).  θ = 0.99 is the paper's default; Fig. 8e sweeps it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Draws zipfian item indices in [0, n)."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        rng = np.random.default_rng(seed)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._perm = rng.permutation(n)
+        self._rng = rng
+
+    def sample(self, size: int) -> np.ndarray:
+        """``size`` scrambled zipfian indices."""
+        u = self._rng.random(size)
+        ranks = np.searchsorted(self._cdf, u, side="left")
+        return self._perm[np.clip(ranks, 0, self.n - 1)]
+
+    def hottest(self, k: int) -> np.ndarray:
+        """The indices of the k most popular items (for tests)."""
+        return self._perm[:k]

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sorted_keys(rng):
+    """10K sorted unique uint64 keys over a wide range."""
+    return np.sort(
+        rng.choice(2**50, size=10_000, replace=False).astype(np.uint64)
+    )
+
+
+@pytest.fixture
+def small_keys(rng):
+    """1K sorted unique keys for cheap per-test builds."""
+    return np.sort(rng.choice(2**40, size=1_000, replace=False).astype(np.uint64))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration tests")

@@ -1,0 +1,96 @@
+"""Tests for the §III-D error-bound analysis (Equations 1-5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    LatencyModelParams,
+    art_fraction,
+    expected_model_count,
+    fit_delta_h,
+    optimal_epsilon,
+    predicted_latency_ns,
+    suggest_error_bound,
+)
+
+
+class TestSuggestedBound:
+    def test_n_over_1000_rule(self):
+        assert suggest_error_bound(200_000) == 200
+        assert suggest_error_bound(1_000_000) == 1000
+
+    def test_floor(self):
+        assert suggest_error_bound(10) == 16
+
+
+class TestEquations:
+    def test_eq1_inverse_proportionality(self):
+        n = expected_model_count(1_000_000, 100, 1.0)
+        assert n == pytest.approx(10_000)
+        assert expected_model_count(1_000_000, 200, 1.0) == pytest.approx(n / 2)
+
+    def test_eq1_roundtrip_with_delta_h(self):
+        delta = fit_delta_h(1_000_000, 100, 5000)
+        assert expected_model_count(1_000_000, 100, delta) == pytest.approx(5000)
+
+    def test_eq1_invalid(self):
+        with pytest.raises(ValueError):
+            expected_model_count(10, 0, 1)
+        with pytest.raises(ValueError):
+            fit_delta_h(10, 1, 0)
+
+    def test_eq3_linear_in_epsilon(self):
+        a = art_fraction(100, 0.5, 10_000)
+        b = art_fraction(200, 0.5, 10_000)
+        assert b == pytest.approx(2 * a)
+
+    def test_eq3_capped_at_one(self):
+        assert art_fraction(10**9, 0.5, 10) == 1.0
+
+
+class TestLatencyModel:
+    def test_u_shape(self):
+        """Eq. 4: latency falls then rises as ε grows — the Fig. 6b curve."""
+        n = 1_000_000
+        eps_values = [2 ** i for i in range(3, 20)]
+        lat = [predicted_latency_ns(e, n) for e in eps_values]
+        m = lat.index(min(lat))
+        assert 0 < m < len(lat) - 1, "minimum must be interior"
+        assert lat[0] > lat[m]
+        assert lat[-1] > lat[m]
+
+    def test_eq5_optimum_near_curve_minimum(self):
+        n = 1_000_000
+        params = LatencyModelParams()
+        star = optimal_epsilon(n, params)
+        lo = predicted_latency_ns(star / 4, n, params)
+        mid = predicted_latency_ns(star, n, params)
+        hi = predicted_latency_ns(star * 4, n, params)
+        assert mid <= lo and mid <= hi
+
+    def test_suggested_bound_in_stable_area(self):
+        """The paper's practical rule ε=N/1000 lands within 2x of the
+        analytic minimum's latency (the "stable area")."""
+        n = 1_000_000
+        best = predicted_latency_ns(optimal_epsilon(n), n)
+        at_rule = predicted_latency_ns(suggest_error_bound(n), n)
+        assert at_rule < 3 * best
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            predicted_latency_ns(0, 100)
+
+
+class TestEmpiricalAgreement:
+    def test_model_count_tracks_eq1_on_real_partitioner(self):
+        """Measured GPL model counts follow the 1/ε law (Fig. 6a)."""
+        from repro.core.gpl import gpl_partition
+        from repro.datasets import dataset
+
+        keys = dataset("libio", 60_000, seed=4)
+        counts = {eps: len(gpl_partition(keys, eps)) for eps in (30, 60, 120)}
+        # halving epsilon should roughly double the model count
+        assert counts[30] > 1.4 * counts[60]
+        assert counts[60] > 1.4 * counts[120]

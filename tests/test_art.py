@@ -1,0 +1,388 @@
+"""Tests for the Adaptive Radix Tree substrate."""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.art.nodes import (
+    Leaf,
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+    common_prefix_len,
+    encode_key,
+)
+from repro.art.tree import AdaptiveRadixTree
+from repro.sim.trace import MemoryMap, tracer
+
+
+@pytest.fixture
+def tree():
+    return AdaptiveRadixTree(MemoryMap(), "test")
+
+
+class TestEncoding:
+    def test_big_endian_order_equals_numeric(self):
+        keys = [0, 1, 255, 256, 2**32, 2**63, 2**64 - 1]
+        encoded = [encode_key(k) for k in keys]
+        assert encoded == sorted(encoded)
+
+    def test_common_prefix_len(self):
+        assert common_prefix_len(b"abcd", b"abcf") == 3
+        assert common_prefix_len(b"abcd", b"abcd") == 4
+        assert common_prefix_len(b"abcd", b"xbcd") == 0
+        assert common_prefix_len(b"abcd", b"abzz", start=2) == 0
+        assert common_prefix_len(b"aabb", b"aabc", start=2) == 1
+
+
+class TestNodeTypes:
+    @pytest.mark.parametrize("cls", [Node4, Node16, Node48, Node256])
+    def test_add_find_remove(self, cls):
+        mem = MemoryMap()
+        node = cls(b"", 0, mem, "t")
+        children = {}
+        for byte in range(0, cls.CAPACITY * 5, 5):
+            if byte > 255 or node.is_full():
+                break
+            leaf = Leaf(byte, byte, mem, "t")
+            node.add_child(byte, leaf)
+            children[byte] = leaf
+        for byte, leaf in children.items():
+            assert node.find_child(byte) is leaf
+        assert node.find_child(1) is None
+        some = next(iter(children))
+        node.remove_child(some)
+        assert node.find_child(some) is None
+
+    @pytest.mark.parametrize("cls", [Node4, Node16, Node48])
+    def test_grow_preserves_children(self, cls):
+        mem = MemoryMap()
+        node = cls(b"pre", 3, mem, "t")
+        for byte in range(cls.CAPACITY):
+            node.add_child(byte, Leaf(byte, byte, mem, "t"))
+        grown = node.grow(mem, "t")
+        assert grown.count == cls.CAPACITY
+        assert grown.prefix == b"pre"
+        assert grown.match_level == 3
+        for byte in range(cls.CAPACITY):
+            assert grown.find_child(byte).key == byte
+
+    @pytest.mark.parametrize("cls", [Node16, Node48, Node256])
+    def test_shrink_preserves_children(self, cls):
+        mem = MemoryMap()
+        node = cls(b"p", 1, mem, "t")
+        n = cls.SHRINK_AT - 1
+        for byte in range(n):
+            node.add_child(byte, Leaf(byte, byte, mem, "t"))
+        small = node.shrink(mem, "t")
+        assert small.count == n
+        for byte in range(n):
+            assert small.find_child(byte).key == byte
+
+    def test_iter_children_sorted(self):
+        mem = MemoryMap()
+        for cls in (Node4, Node16, Node48, Node256):
+            node = cls(b"", 0, mem, "t")
+            for byte in (200, 3, 77, 150):
+                node.add_child(byte, Leaf(byte, byte, mem, "t"))
+            assert [b for b, _ in node.iter_children()] == [3, 77, 150, 200]
+
+
+class TestTreeBasics:
+    def test_empty(self, tree):
+        assert len(tree) == 0
+        assert tree.search(42) is None
+        assert not tree.remove(42)
+        assert tree.items() == []
+        assert tree.min_item() is None
+
+    def test_single_key(self, tree):
+        assert tree.insert(42, "v")
+        assert tree.search(42) == "v"
+        assert tree.search(43) is None
+        assert len(tree) == 1
+        assert tree.min_item() == (42, "v")
+
+    def test_duplicate_insert_no_upsert(self, tree):
+        tree.insert(42, "a")
+        assert not tree.insert(42, "b")
+        assert tree.search(42) == "a"
+
+    def test_duplicate_insert_upsert(self, tree):
+        tree.insert(42, "a")
+        assert not tree.insert(42, "b", upsert=True)
+        assert tree.search(42) == "b"
+        assert len(tree) == 1
+
+    def test_zero_and_max_key(self, tree):
+        tree.insert(0, "zero")
+        tree.insert(2**64 - 1, "max")
+        assert tree.search(0) == "zero"
+        assert tree.search(2**64 - 1) == "max"
+
+    def test_remove_to_empty(self, tree):
+        tree.insert(1, 1)
+        assert tree.remove(1)
+        assert len(tree) == 0
+        assert tree.search(1) is None
+        tree.insert(1, 2)  # reusable after emptying
+        assert tree.search(1) == 2
+
+
+class TestTreeBulk:
+    def test_random_keys(self, tree):
+        random.seed(7)
+        keys = random.sample(range(2**60), 3000)
+        for k in keys:
+            assert tree.insert(k, k ^ 1)
+        assert len(tree) == 3000
+        for k in keys:
+            assert tree.search(k) == k ^ 1
+
+    def test_dense_keys_use_big_nodes(self, tree):
+        for k in range(1000):
+            tree.insert(k, k)
+        counts = tree.node_counts()
+        assert counts.get("Node256", 0) + counts.get("Node48", 0) >= 1
+        for k in range(1000):
+            assert tree.search(k) == k
+
+    def test_items_sorted(self, tree):
+        random.seed(3)
+        keys = random.sample(range(2**48), 500)
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_items_range(self, tree):
+        for k in range(0, 1000, 7):
+            tree.insert(k, k)
+        got = [k for k, _ in tree.items(100, 300)]
+        assert got == [k for k in range(0, 1000, 7) if 100 <= k <= 300]
+
+    def test_scan_limit(self, tree):
+        keys = sorted(random.Random(5).sample(range(2**40), 800))
+        for k in keys:
+            tree.insert(k, k)
+        lo = keys[100]
+        got = [k for k, _ in tree.scan(lo, 50)]
+        assert got == keys[100:150]
+
+    def test_scan_from_absent_key(self, tree):
+        keys = sorted(random.Random(5).sample(range(10**9), 300))
+        for k in keys:
+            tree.insert(k, k)
+        lo = keys[10] + 1
+        got = [k for k, _ in tree.scan(lo, 20)]
+        import bisect
+
+        i = bisect.bisect_left(keys, lo)
+        assert got == keys[i : i + 20]
+
+    def test_delete_half(self, tree):
+        random.seed(9)
+        keys = random.sample(range(2**52), 2000)
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys[:1000]:
+            assert tree.remove(k)
+        assert len(tree) == 1000
+        for k in keys[:1000]:
+            assert tree.search(k) is None
+        for k in keys[1000:]:
+            assert tree.search(k) == k
+
+
+class TestStructureModifications:
+    def test_prefix_extraction_notifies(self, tree):
+        events = []
+        tree.add_replace_listener(lambda old, new: events.append((old, new)))
+        # Keys sharing a long prefix, then one diverging inside it.
+        tree.insert(0x1111111100000001, 1)
+        tree.insert(0x1111111100000002, 2)
+        tree.insert(0x1111222200000001, 3)  # diverges at byte 2
+        assert tree.search(0x1111111100000001) == 1
+        assert tree.search(0x1111222200000001) == 3
+        assert any(
+            getattr(new, "match_level", None) is not None for _, new in events
+        )
+
+    def test_growth_notifies(self, tree):
+        events = []
+        tree.add_replace_listener(lambda old, new: events.append((old, new)))
+        base = 0xAA00000000000000
+        for i in range(6):  # > Node4 capacity under one parent
+            tree.insert(base + (i << 8), i)
+        grew = [(o, n) for o, n in events if type(o).__name__ != type(n).__name__]
+        assert grew, "expected at least one node growth notification"
+        old, new = grew[0]
+        assert old.lock.is_obsolete
+
+    def test_match_level_consistency(self, tree):
+        random.seed(11)
+        keys = random.sample(range(2**56), 500)
+        for k in keys:
+            tree.insert(k, k)
+
+        def check(node, depth):
+            from repro.art.nodes import Leaf as L, Node as N
+
+            if node is None or isinstance(node, L):
+                return
+            assert node.match_level == depth
+            depth2 = depth + len(node.prefix)
+            for _, child in node.iter_children():
+                check(child, depth2 + 1)
+
+        check(tree.root, 0)
+
+    def test_parent_pointers_consistent(self, tree):
+        random.seed(13)
+        keys = random.sample(range(2**56), 800)
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys[:400]:
+            tree.remove(k)
+
+        from repro.art.nodes import Leaf as L, Node as N
+
+        def check(node):
+            if node is None or isinstance(node, L):
+                return
+            for byte, child in node.iter_children():
+                assert child.parent is node
+                assert child.pbyte == byte
+                check(child)
+
+        check(tree.root)
+
+
+class TestMidTreeEntry:
+    def test_common_ancestor_and_search_from(self, tree):
+        keys = [0x0100, 0x0101, 0x0102, 0x0200, 0x0201]
+        for k in keys:
+            tree.insert(k, k)
+        anc = tree.common_ancestor(0x0100, 0x0102)
+        assert anc is not None
+        for k in (0x0100, 0x0101, 0x0102):
+            assert tree.search(k, from_node=anc) == k
+
+    def test_insert_from_ancestor(self, tree):
+        for k in (0x010000, 0x010010, 0x010020):
+            tree.insert(k, k)
+        anc = tree.common_ancestor(0x010000, 0x010020)
+        assert tree.insert(0x010015, 99, from_node=anc)
+        assert tree.search(0x010015) == 99
+        assert tree.search(0x010015, from_node=anc) == 99
+
+    def test_path_length_shorter_from_ancestor(self, tree):
+        random.seed(21)
+        base = 0x5500000000000000
+        keys = [base + random.randrange(2**24) for _ in range(2000)]
+        keys = list(dict.fromkeys(keys))
+        for k in keys:
+            tree.insert(k, k)
+        anc = tree.common_ancestor(min(keys), min(keys) + 2**20)
+        k = keys[50]
+        full = tree.lookup_path_length(k)
+        if anc is not None and anc is not tree.root:
+            short = tree.lookup_path_length(k, from_node=anc)
+            assert short <= full
+
+    def test_obsolete_entry_falls_back_to_root(self, tree):
+        for k in range(300):
+            tree.insert(k * 1000, k)
+        # A stale shortcut: a node that was unlinked (and marked
+        # obsolete) by a structure modification.  Search must fall back
+        # to the root.
+        from repro.art.nodes import Node4
+        from repro.sim.trace import MemoryMap
+
+        stale = Node4(b"", 0, MemoryMap(), "x")
+        stale.lock.write_lock_or_restart()
+        stale.lock.write_unlock_obsolete()
+        assert tree.search(5000, from_node=stale) == 5
+        assert tree.insert(5001, "n", from_node=stale)
+        assert tree.search(5001) == "n"
+
+
+class TestTracing:
+    def test_search_records_reads_and_visits(self, tree):
+        for k in range(200):
+            tree.insert(k * 97, k)
+        with tracer() as t:
+            tree.search(97 * 50)
+        assert t.nodes_visited >= 1
+        assert len(t.reads) >= 1
+
+    def test_insert_records_writes(self, tree):
+        tree.insert(1, 1)
+        with tracer() as t:
+            tree.insert(2**40, 2)
+        assert len(t.writes) >= 1
+
+
+class TestMemoryAccounting:
+    def test_bytes_grow_and_shrink(self):
+        mem = MemoryMap()
+        tree = AdaptiveRadixTree(mem, "m")
+        for k in range(500):
+            tree.insert(k * 3, k)
+        grown = mem.live_bytes("m")
+        assert grown > 500 * 16  # at least the leaves
+        for k in range(500):
+            tree.remove(k * 3)
+        tree.epoch.drain()
+        assert mem.live_bytes("m") < grown
+
+
+@pytest.mark.slow
+class TestConcurrentART:
+    def test_parallel_disjoint_inserts(self, tree):
+        ranges = [(i * 100_000, 2000) for i in range(6)]
+
+        def worker(start, count):
+            for k in range(start, start + count):
+                tree.insert(k * 7, k)
+
+        threads = [threading.Thread(target=worker, args=r) for r in ranges]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tree) == 12_000
+        for start, count in ranges:
+            for k in range(start, start + count, 97):
+                assert tree.search(k * 7) == k
+
+    def test_readers_during_writes(self, tree):
+        for k in range(0, 20_000, 2):
+            tree.insert(k, k)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                k = random.randrange(0, 20_000, 2)
+                v = tree.search(k)
+                if v != k:
+                    errors.append((k, v))
+
+        def writer():
+            for k in range(1, 20_000, 2):
+                tree.insert(k, k)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        w = threading.Thread(target=writer)
+        for t in readers:
+            t.start()
+        w.start()
+        w.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert len(tree) == 20_000

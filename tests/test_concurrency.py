@@ -1,0 +1,211 @@
+"""Tests for the concurrency primitives (real threads, real protocols)."""
+
+import threading
+
+import pytest
+
+from repro.concurrency.epoch import EpochManager
+from repro.concurrency.spinlock import SpinLock
+from repro.concurrency.version_lock import (
+    OptimisticLock,
+    RestartException,
+    SlotVersion,
+    SlotVersionArray,
+)
+from repro.sim.trace import CostTrace, tracer
+
+
+class TestSlotVersion:
+    def test_initial_readable(self):
+        v = SlotVersion()
+        assert v.read_begin() == 0
+        assert v.read_validate(0)
+
+    def test_write_cycle_bumps_twice(self):
+        v = SlotVersion()
+        v.write_begin()
+        assert v.value == 1
+        v.write_end()
+        assert v.value == 2
+
+    def test_read_validation_fails_after_write(self):
+        v = SlotVersion()
+        snap = v.read_begin()
+        v.write_begin()
+        v.write_end()
+        assert not v.read_validate(snap)
+
+    def test_write_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            SlotVersion().write_end()
+
+    def test_concurrent_writers_serialize(self):
+        v = SlotVersion()
+        counter = [0]
+
+        def writer():
+            for _ in range(500):
+                v.write_begin()
+                counter[0] += 1
+                v.write_end()
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter[0] == 4000
+        assert v.value == 8000  # two bumps per write
+
+
+class TestSlotVersionArray:
+    def test_independent_slots(self):
+        arr = SlotVersionArray(4)
+        arr.write_begin(1)
+        assert arr.read_begin(0) == 0  # other slots unaffected
+        arr.write_end(1)
+        assert arr.read_begin(1) == 2
+
+    def test_validate(self):
+        arr = SlotVersionArray(2)
+        snap = arr.read_begin(0)
+        assert arr.read_validate(0, snap)
+        arr.write_begin(0)
+        arr.write_end(0)
+        assert not arr.read_validate(0, snap)
+
+    def test_grow(self):
+        arr = SlotVersionArray(2)
+        arr.grow(10)
+        assert len(arr) == 10
+        arr.write_begin(9)
+        arr.write_end(9)
+
+    def test_write_end_idle_raises(self):
+        with pytest.raises(RuntimeError):
+            SlotVersionArray(2).write_end(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SlotVersionArray(-1)
+
+    def test_traces_atomic_rmw(self):
+        arr = SlotVersionArray(2)
+        with tracer() as t:
+            arr.write_begin(0)
+            arr.write_end(0)
+        assert t.atomic_rmw == 1
+
+
+class TestOptimisticLock:
+    def test_read_cycle(self):
+        lock = OptimisticLock()
+        v = lock.read_lock_or_restart()
+        lock.read_unlock_or_restart(v)  # no intervening write: OK
+
+    def test_read_restarts_after_write(self):
+        lock = OptimisticLock()
+        v = lock.read_lock_or_restart()
+        lock.write_lock_or_restart()
+        lock.write_unlock()
+        with pytest.raises(RestartException):
+            lock.read_unlock_or_restart(v)
+
+    def test_read_restarts_while_locked(self):
+        lock = OptimisticLock()
+        lock.write_lock_or_restart()
+        with pytest.raises(RestartException):
+            lock.read_lock_or_restart()
+        lock.write_unlock()
+
+    def test_upgrade_fails_on_stale_version(self):
+        lock = OptimisticLock()
+        v = lock.read_lock_or_restart()
+        lock.write_lock_or_restart()
+        lock.write_unlock()
+        with pytest.raises(RestartException):
+            lock.upgrade_to_write_lock_or_restart(v)
+
+    def test_obsolete_blocks_readers(self):
+        lock = OptimisticLock()
+        lock.write_lock_or_restart()
+        lock.write_unlock_obsolete()
+        assert lock.is_obsolete
+        with pytest.raises(RestartException):
+            lock.read_lock_or_restart()
+
+    def test_unlock_without_lock_raises(self):
+        with pytest.raises(RuntimeError):
+            OptimisticLock().write_unlock()
+
+    def test_version_advances_per_write(self):
+        lock = OptimisticLock()
+        v0 = lock.read_lock_or_restart()
+        lock.write_lock_or_restart()
+        lock.write_unlock()
+        v1 = lock.read_lock_or_restart()
+        assert v1 != v0
+
+
+class TestSpinLock:
+    def test_mutual_exclusion(self):
+        lock = SpinLock()
+        counter = [0]
+
+        def worker():
+            for _ in range(1000):
+                with lock:
+                    counter[0] += 1
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter[0] == 8000
+        assert lock.acquisitions == 8000
+        assert not lock.locked
+
+    def test_traces_atomic(self):
+        lock = SpinLock()
+        with tracer() as t:
+            with lock:
+                pass
+        assert t.atomic_rmw == 1
+
+
+class TestEpochManager:
+    def test_retire_and_drain(self):
+        em = EpochManager()
+        freed = []
+        em.retire(lambda: freed.append(1))
+        em.retire(lambda: freed.append(2))
+        assert freed == []
+        em.drain()
+        assert sorted(freed) == [1, 2]
+
+    def test_advance_blocked_by_stale_reader(self):
+        em = EpochManager()
+        guard = em.enter()
+        start = em.current_epoch
+        assert em.try_advance()  # reader is at the current epoch: fine
+        with guard:
+            pass  # exit
+        assert em.current_epoch == start + 1
+
+    def test_stale_reader_blocks(self):
+        em = EpochManager()
+        g = em.enter()
+        em.try_advance()  # epoch moves to 1 while reader pinned at 0
+        assert not em.try_advance()  # reader now stale: cannot advance
+        em._exit(threading.get_ident())
+        assert em.try_advance()
+
+    def test_deferred_free_runs_after_two_epochs(self):
+        em = EpochManager()
+        freed = []
+        em.retire(lambda: freed.append("x"))
+        em.try_advance()
+        em.try_advance()
+        em.try_advance()
+        assert freed == ["x"]

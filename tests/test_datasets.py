@@ -1,0 +1,96 @@
+"""Tests for dataset generators and SOSD I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset,
+    fb,
+    libio,
+    longlat,
+    osm,
+    read_sosd,
+    write_sosd,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_exact_size_sorted_unique(self, name):
+        keys = dataset(name, 20_000, seed=1)
+        assert len(keys) == 20_000
+        assert keys.dtype == np.uint64
+        assert np.all(keys[1:] > keys[:-1])
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_in_seed(self, name):
+        a = dataset(name, 5_000, seed=7)
+        b = dataset(name, 5_000, seed=7)
+        c = dataset(name, 5_000, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            dataset("nope", 100)
+
+    def test_distinct_cdf_characters(self):
+        """δ_h ordering: libio easiest to fit, longlat/osm hardest."""
+        from repro.core.gpl import gpl_partition
+
+        counts = {}
+        for name in DATASET_NAMES:
+            keys = dataset(name, 50_000, seed=2)
+            counts[name] = len(gpl_partition(keys, 50))
+        # libio (near-linear) needs fewer models than fb (heavy-tailed)
+        assert counts["libio"] < counts["fb"]
+
+    def test_small_n(self):
+        for name in DATASET_NAMES:
+            keys = dataset(name, 100, seed=0)
+            assert len(keys) == 100
+
+    def test_libio_is_dense(self):
+        keys = libio(10_000, seed=0)
+        span = int(keys[-1]) - int(keys[0])
+        assert span < 80 * len(keys)  # mean gap stays small
+
+    def test_fb_has_heavy_tail_gaps(self):
+        keys = fb(10_000, seed=0)
+        gaps = np.diff(keys.astype(np.float64))
+        assert gaps.max() > 50 * np.median(gaps)
+
+    def test_osm_clusters(self):
+        keys = osm(10_000, seed=0)
+        gaps = np.diff(keys.astype(np.float64))
+        # cluster structure: most gaps tiny, a few enormous
+        assert gaps.max() > 1000 * np.median(gaps)
+
+
+class TestSosd:
+    def test_roundtrip(self, tmp_path, sorted_keys):
+        path = tmp_path / "keys.sosd"
+        write_sosd(path, sorted_keys)
+        back = read_sosd(path)
+        assert np.array_equal(back, sorted_keys)
+
+    def test_limit(self, tmp_path, sorted_keys):
+        path = tmp_path / "keys.sosd"
+        write_sosd(path, sorted_keys)
+        back = read_sosd(path, limit=100)
+        assert np.array_equal(back, sorted_keys[:100])
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "bad.sosd"
+        write_sosd(path, np.arange(10, dtype=np.uint64))
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError):
+            read_sosd(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.sosd"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            read_sosd(path)

@@ -1,0 +1,39 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "index anatomy" in out
+    assert "GPL models" in out
+
+
+def test_memtable_kv_runs():
+    out = run_example("memtable_kv.py")
+    assert "ingested" in out
+    assert "store anatomy" in out
+
+
+@pytest.mark.slow
+def test_concurrent_analysis_runs():
+    out = run_example("concurrent_analysis.py", "libio", "30000")
+    assert "ALT-index" in out and "LIPP+" in out
+    assert "reading the table" in out

@@ -1,0 +1,157 @@
+"""Tests for the Greedy Pessimistic Linear algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import KeysNotSortedError
+from repro.core.gpl import (
+    PartitionStats,
+    Segment,
+    gpl_partition,
+    gpl_partition_scalar,
+)
+
+
+def sorted_unique(draw_list):
+    return np.array(sorted(set(draw_list)), dtype=np.uint64)
+
+
+class TestSegment:
+    def test_predict_relative_to_first_key(self):
+        seg = Segment(start=0, length=10, first_key=100, slope=0.5)
+        assert seg.predict(100) == 0
+        assert seg.predict(120) == 10
+        assert seg.end == 10
+
+
+class TestValidation:
+    def test_rejects_duplicates(self):
+        with pytest.raises(KeysNotSortedError):
+            gpl_partition(np.array([1, 2, 2, 3], dtype=np.uint64), 8)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(KeysNotSortedError):
+            gpl_partition(np.array([3, 1, 2], dtype=np.uint64), 8)
+
+    def test_rejects_2d(self):
+        with pytest.raises(KeysNotSortedError):
+            gpl_partition(np.zeros((2, 2)), 8)
+
+    def test_empty(self):
+        assert gpl_partition(np.array([], dtype=np.uint64), 8) == []
+
+
+class TestPartitionInvariants:
+    def _check_cover(self, keys, segments):
+        assert segments[0].start == 0
+        assert segments[-1].end == len(keys)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start
+        for seg in segments:
+            assert seg.first_key == int(keys[seg.start])
+            assert seg.length >= 1
+
+    def test_linear_data_one_segment(self):
+        keys = np.arange(0, 100_000, 10, dtype=np.uint64)
+        segs = gpl_partition(keys, 8)
+        assert len(segs) == 1
+        assert segs[0].slope == pytest.approx(0.1, rel=1e-6)
+
+    def test_covering_partition(self, sorted_keys):
+        segs = gpl_partition(sorted_keys, 64)
+        self._check_cover(sorted_keys, segs)
+
+    def test_error_bound_respected(self, sorted_keys):
+        """Within each segment, mid-slope prediction error <= ~epsilon."""
+        eps = 64
+        for seg in gpl_partition(sorted_keys, eps):
+            for i in range(seg.start, seg.end):
+                rank = i - seg.start
+                pred = seg.slope * (float(sorted_keys[i]) - seg.first_key)
+                assert abs(pred - rank) <= eps + 1
+
+    def test_smaller_epsilon_more_segments(self, sorted_keys):
+        coarse = gpl_partition(sorted_keys, 256)
+        fine = gpl_partition(sorted_keys, 16)
+        assert len(fine) >= len(coarse)
+
+    def test_single_key(self):
+        segs = gpl_partition(np.array([42], dtype=np.uint64), 8)
+        assert len(segs) == 1
+        assert segs[0].length == 1
+
+    def test_two_keys(self):
+        segs = gpl_partition(np.array([10, 20], dtype=np.uint64), 8)
+        assert len(segs) == 1
+        assert segs[0].slope == pytest.approx(0.1)
+
+    def test_step_function_splits(self):
+        # Two dense runs separated by a huge jump must split.
+        keys = np.concatenate(
+            [np.arange(1000, dtype=np.uint64), np.arange(2**40, 2**40 + 1000, dtype=np.uint64)]
+        )
+        segs = gpl_partition(keys, 16)
+        assert len(segs) >= 2
+        boundaries = [s.start for s in segs]
+        assert 1000 in boundaries  # the jump is a boundary
+
+
+class TestScalarVectorEquivalence:
+    def test_same_boundaries_on_random_data(self, sorted_keys):
+        for eps in (8, 32, 128):
+            a = gpl_partition_scalar(sorted_keys, eps)
+            b = gpl_partition(sorted_keys, eps)
+            assert [(s.start, s.length) for s in a] == [
+                (s.start, s.length) for s in b
+            ]
+            for sa, sb in zip(a, b):
+                assert sa.slope == pytest.approx(sb.slope, rel=1e-9, abs=1e-12)
+
+    def test_same_with_tiny_chunks(self, small_keys):
+        a = gpl_partition(small_keys, 16, chunk=3)
+        b = gpl_partition(small_keys, 16, chunk=4096)
+        assert [(s.start, s.length) for s in a] == [(s.start, s.length) for s in b]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**48), min_size=2, max_size=300),
+        st.integers(1, 64),
+    )
+    def test_property_equivalence(self, raw, eps):
+        keys = np.array(sorted(set(raw)), dtype=np.uint64)
+        if len(keys) < 2:
+            return
+        a = gpl_partition_scalar(keys, eps)
+        b = gpl_partition(keys, eps, chunk=7)
+        assert [(s.start, s.length) for s in a] == [(s.start, s.length) for s in b]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2**40), min_size=2, max_size=200))
+    def test_property_cover_and_bound(self, raw):
+        keys = np.array(sorted(set(raw)), dtype=np.uint64)
+        if len(keys) < 2:
+            return
+        eps = 16
+        segs = gpl_partition(keys, eps)
+        assert segs[0].start == 0 and segs[-1].end == len(keys)
+        for a, b in zip(segs, segs[1:]):
+            assert a.end == b.start
+        for seg in segs:
+            for i in range(seg.start, seg.end):
+                pred = seg.slope * (float(keys[i]) - seg.first_key)
+                assert abs(pred - (i - seg.start)) <= eps + 1
+
+
+class TestStats:
+    def test_scalar_counts_scans_and_updates(self, small_keys):
+        stats = PartitionStats()
+        gpl_partition_scalar(small_keys, 32, stats=stats)
+        assert stats.points_scanned >= len(small_keys) - 1
+        assert stats.slope_updates >= 2
+
+    def test_vectorized_counts_scans(self, small_keys):
+        stats = PartitionStats()
+        gpl_partition(small_keys, 32, stats=stats)
+        assert stats.points_scanned == len(small_keys)

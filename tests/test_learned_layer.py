@@ -1,0 +1,215 @@
+"""Tests for GPL models and the flattened learned layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.learned_layer import (
+    EMPTY,
+    FULL,
+    TOMBSTONE,
+    GPLModel,
+    LearnedLayer,
+    model_bytes,
+)
+from repro.sim.trace import MemoryMap, tracer
+
+
+@pytest.fixture
+def mem():
+    return MemoryMap()
+
+
+def build_layer(keys, eps=None, mem=None):
+    keys = np.asarray(keys, dtype=np.uint64)
+    eps = eps or max(len(keys) // 100, 8)
+    return LearnedLayer.bulk_build(keys, keys, eps, mem or MemoryMap(), "t", 2.0)
+
+
+class TestGPLModel:
+    def test_slot_of_monotone_and_clamped(self, mem):
+        m = GPLModel(100, 0.5, 10, mem, "t")
+        slots = [m.slot_of(100 + d) for d in range(0, 40, 2)]
+        assert slots == sorted(slots)
+        assert m.slot_of(50) == 0  # below first key clamps to 0
+        assert m.slot_of(10**9) == 9  # beyond range clamps to last
+
+    def test_slot_states(self, mem):
+        m = GPLModel(0, 1.0, 8, mem, "t")
+        assert m.read_slot(3) == (EMPTY, None, None)
+        m.write_slot(3, 3, "v")
+        assert m.read_slot(3) == (FULL, 3, "v")
+        m.clear_slot(3)
+        assert m.read_slot(3) == (TOMBSTONE, None, None)
+        m.clear_slot(3, tombstone=False)
+        assert m.read_slot(3) == (EMPTY, None, None)
+
+    def test_write_over_tombstone(self, mem):
+        m = GPLModel(0, 1.0, 4, mem, "t")
+        m.write_slot(1, 1, "a")
+        m.clear_slot(1)
+        m.write_slot(1, 1, "b")
+        assert m.read_slot(1) == (FULL, 1, "b")
+
+    def test_place_bulk_conflicts_are_collisions(self, mem):
+        keys = np.array([0, 1, 2, 3, 100], dtype=np.uint64)
+        # slope 0.5 -> keys 0/1 collide at slot 0, 2/3 at slot 1
+        m = GPLModel(0, 0.5, 60, mem, "t")
+        conflicts = m.place_bulk(keys, keys)
+        conflict_keys = [k for k, _ in conflicts]
+        assert conflict_keys == [1, 3]
+        assert m.build_size == 3
+        assert m.read_slot(0)[1] == 0
+        assert m.read_slot(1)[1] == 2
+
+    def test_place_bulk_agrees_with_slot_of(self, mem):
+        """Placement and lookup arithmetic must agree, including for
+        keys above 2^53 where float64 rounding bites."""
+        base = np.uint64(2**61)
+        keys = base + np.arange(0, 5000, 7, dtype=np.uint64)
+        m = GPLModel(int(keys[0]), 0.31, 2000, mem, "t")
+        m.place_bulk(keys, keys)
+        for k in keys[::13]:
+            s = m.slot_of(int(k))
+            state, resident, _ = m.read_slot(s)
+            if state == FULL and resident == int(k):
+                continue
+            # collided keys are allowed to be absent, but a present key
+            # must always be found at its predicted slot
+            assert int(k) not in [m.keys[s]], "key placed at wrong slot"
+
+    def test_occupancy_counts_live_keys_only(self, mem):
+        m = GPLModel(0, 1.0, 10, mem, "t")
+        m.write_slot(0, 0, "a")
+        m.write_slot(5, 5, "b")
+        m.clear_slot(5)
+        assert m.occupancy() == 1
+
+    def test_iter_slots_sorted(self, mem):
+        m = GPLModel(0, 1.0, 100, mem, "t")
+        for k in (5, 50, 20):
+            m.write_slot(m.slot_of(k), k, k)
+        assert [k for k, _ in m.iter_slots()] == [5, 20, 50]
+
+    def test_model_bytes_formula(self):
+        assert model_bytes(0) == 64
+        assert model_bytes(8) == 64 + 128 + 1  # versions live in slots
+
+    def test_read_traces_lines(self, mem):
+        m = GPLModel(0, 1.0, 64, mem, "t")
+        with tracer() as t:
+            m.read_slot(10)
+        assert t.model_calcs == 1
+        assert len(t.reads) == 2  # bitmap line + slot line
+
+
+class TestLearnedLayerBuild:
+    def test_empty(self):
+        layer, conflicts = build_layer([])
+        assert layer.model_count == 0
+        assert conflicts == []
+
+    def test_all_keys_resident_or_conflict(self, sorted_keys):
+        layer, conflicts = build_layer(sorted_keys)
+        assert layer.occupancy() + len(conflicts) == len(sorted_keys)
+
+    def test_conflicts_not_resident(self, sorted_keys):
+        layer, conflicts = build_layer(sorted_keys)
+        resident = {k for k, _ in layer.items(0, 2**64 - 1)}
+        for k, _ in conflicts:
+            assert k not in resident
+
+    def test_models_sorted_by_first_key(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        firsts = [m.first_key for m in layer.models]
+        assert firsts == sorted(firsts)
+
+    def test_linear_data_single_model(self):
+        keys = np.arange(0, 50_000, 5, dtype=np.uint64)
+        layer, conflicts = build_layer(keys, eps=64)
+        assert layer.model_count == 1
+        assert conflicts == []  # gapped linear placement is collision-free
+
+    def test_bigger_epsilon_fewer_models_more_conflicts(self, sorted_keys):
+        small, c_small = build_layer(sorted_keys, eps=16)
+        big, c_big = build_layer(sorted_keys, eps=512)
+        assert big.model_count <= small.model_count
+        assert len(c_big) >= len(c_small)  # Eq. (3): conflicts grow with eps
+
+
+class TestRouting:
+    def test_route_matches_bisect(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        firsts = [m.first_key for m in layer.models]
+        import bisect
+
+        for k in sorted_keys[::37]:
+            i, m = layer.route(int(k))
+            expect = max(bisect.bisect_right(firsts, int(k)) - 1, 0)
+            assert i == expect
+
+    def test_route_below_first_key(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        i, m = layer.route(0)
+        assert i == 0
+
+    def test_route_empty_layer_raises(self):
+        layer, _ = build_layer([])
+        with pytest.raises(LookupError):
+            layer.route(1)
+
+    def test_route_traced_matches_untraced(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        for k in sorted_keys[::101]:
+            plain = layer.route(int(k))
+            with tracer():
+                traced = layer.route(int(k))
+            assert plain[0] == traced[0]
+
+    def test_route_trace_records_probes(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        with tracer() as t:
+            layer.route(int(sorted_keys[500]))
+        assert t.comparisons >= 1
+        assert len(t.reads) == t.comparisons
+
+
+class TestLayerItems:
+    def test_items_full_range_sorted(self, sorted_keys):
+        layer, conflicts = build_layer(sorted_keys)
+        got = [k for k, _ in layer.items(0, 2**64 - 1)]
+        assert got == sorted(got)
+        assert len(got) == layer.occupancy()
+
+    def test_items_subrange(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        lo, hi = int(sorted_keys[100]), int(sorted_keys[200])
+        got = [k for k, _ in layer.items(lo, hi)]
+        assert all(lo <= k <= hi for k in got)
+        full = [k for k, _ in layer.items(0, 2**64 - 1) if lo <= k <= hi]
+        assert got == full
+
+
+class TestOverflowAndReplace:
+    def test_append_overflow_model(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        last = layer.models[-1]
+        m = layer.append_overflow_model(int(sorted_keys[-1]) + 1000, 1.0, 16)
+        assert layer.models[-1] is m
+        i, routed = layer.route(int(sorted_keys[-1]) + 2000)
+        assert routed is m
+
+    def test_append_out_of_order_rejected(self, sorted_keys):
+        from repro.core.errors import KeysNotSortedError
+
+        layer, _ = build_layer(sorted_keys)
+        with pytest.raises(KeysNotSortedError):
+            layer.append_overflow_model(0, 1.0, 16)
+
+    def test_replace_model_keeps_fast_index(self, sorted_keys):
+        layer, _ = build_layer(sorted_keys)
+        old = layer.models[0]
+        old.fast_index = 7
+        new = GPLModel(old.first_key, old.slope_eff, old.n_slots, MemoryMap(), "t")
+        layer.replace_model(0, new)
+        assert layer.models[0] is new
+        assert new.fast_index == 7

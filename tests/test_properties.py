@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.core.alt_index import ALTIndex
+from repro.sim.trace import MemoryMap
+
+key_lists = st.lists(st.integers(0, 2**62), min_size=1, max_size=120, unique=True)
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "insert", "remove", "update"]),
+        st.integers(0, 500),
+    ),
+    max_size=200,
+)
+
+
+class TestARTvsDict:
+    @settings(max_examples=80, deadline=None)
+    @given(key_lists)
+    def test_insert_search_items(self, keys):
+        tree = AdaptiveRadixTree(MemoryMap(), "p")
+        for k in keys:
+            assert tree.insert(k, k * 2)
+        for k in keys:
+            assert tree.search(k) == k * 2
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    @settings(max_examples=60, deadline=None)
+    @given(key_lists, st.randoms())
+    def test_random_delete_subset(self, keys, rnd):
+        tree = AdaptiveRadixTree(MemoryMap(), "p")
+        for k in keys:
+            tree.insert(k, k)
+        victims = [k for k in keys if rnd.random() < 0.5]
+        for k in victims:
+            assert tree.remove(k)
+        survivors = sorted(set(keys) - set(victims))
+        assert [k for k, _ in tree.items()] == survivors
+        for k in victims:
+            assert tree.search(k) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(key_lists, st.integers(0, 2**62), st.integers(1, 50))
+    def test_scan_matches_sorted_reference(self, keys, lo, limit):
+        tree = AdaptiveRadixTree(MemoryMap(), "p")
+        for k in keys:
+            tree.insert(k, k)
+        expect = [k for k in sorted(keys) if k >= lo][:limit]
+        assert [k for k, _ in tree.scan(lo, limit)] == expect
+
+
+class TestALTvsDict:
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(st.integers(0, 5000), min_size=2, max_size=150, unique=True),
+        ops_strategy,
+    )
+    def test_op_sequences(self, bulk, ops):
+        bulk = sorted(bulk)
+        idx = ALTIndex.bulk_load(
+            np.array(bulk, dtype=np.uint64), memory=MemoryMap()
+        )
+        model = {k: k for k in bulk}
+        for op, k in ops:
+            if op == "get":
+                assert idx.get(k) == model.get(k)
+            elif op == "insert":
+                assert idx.insert(k, k + 1) == (k not in model)
+                model[k] = k + 1
+            elif op == "remove":
+                assert idx.remove(k) == (k in model)
+                model.pop(k, None)
+            else:
+                assert idx.update(k, k - 1) == (k in model)
+                if k in model:
+                    model[k] = k - 1
+        for k in list(model)[:50]:
+            assert idx.get(k) == model[k]
+        assert len(idx) == len(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**62), min_size=2, max_size=200, unique=True)
+    )
+    def test_range_query_equals_reference(self, keys):
+        keys = sorted(keys)
+        idx = ALTIndex.bulk_load(np.array(keys, dtype=np.uint64), memory=MemoryMap())
+        lo, hi = keys[0], keys[-1]
+        got = [k for k, _ in idx.range_query(lo, hi)]
+        assert got == keys
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**40), min_size=10, max_size=200, unique=True),
+        st.integers(8, 256),
+    )
+    def test_every_epsilon_is_correct(self, keys, eps):
+        """Any ε choice changes performance, never correctness."""
+        keys = sorted(keys)
+        idx = ALTIndex.bulk_load(
+            np.array(keys, dtype=np.uint64), epsilon=eps, memory=MemoryMap()
+        )
+        for k in keys:
+            assert idx.get(k) == k
+
+
+class TestLayerConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2**55), min_size=1, max_size=300, unique=True))
+    def test_keys_conserved_across_layers(self, keys):
+        """Every bulk-loaded key lives in exactly one layer."""
+        keys = sorted(keys)
+        idx = ALTIndex.bulk_load(np.array(keys, dtype=np.uint64), memory=MemoryMap())
+        s = idx.stats()
+        assert s["learned_keys"] + s["art_keys"] == len(keys)
+        learned = {k for k, _ in idx.layer.items(0, 2**64 - 1)}
+        art = {k for k, _ in idx.art.items()}
+        assert not (learned & art)
+        assert learned | art == set(keys)

@@ -1,0 +1,81 @@
+"""Tests for the static two-stage RMI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rmi import TwoStageRMI, _LinearModel
+from repro.sim.trace import MemoryMap, tracer
+
+
+class TestLinearModel:
+    def test_fit_exact_line(self):
+        xs = np.arange(0, 100, dtype=np.float64)
+        ys = 2.0 * xs + 5.0
+        m = _LinearModel.fit(xs, ys)
+        assert m.slope == pytest.approx(2.0)
+        assert m.max_error == 0
+        assert m.predict(50.0) == int(2 * 50 + 5)
+
+    def test_fit_records_max_error(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        ys = np.array([0.0, 5.0, 2.0, 3.0])
+        m = _LinearModel.fit(xs, ys)
+        errs = [abs(y - (m.slope * (x - m.x0) + m.intercept)) for x, y in zip(xs, ys)]
+        assert m.max_error >= max(errs) - 1
+
+    def test_fit_degenerate(self):
+        assert _LinearModel.fit(np.array([]), np.array([])).max_error == 0
+        m = _LinearModel.fit(np.array([5.0]), np.array([3.0]))
+        assert m.predict(5.0) == 3
+
+    def test_huge_keys_stay_correct(self):
+        """Keys above 2^53 lose precision at float conversion; the
+        recorded max_error absorbs it so bounded search stays correct."""
+        base = 2**61
+        keys = np.array([base + i * 10 for i in range(500)], dtype=np.uint64)
+        rmi = TwoStageRMI(keys, 4, MemoryMap(), "r")
+        for i in range(0, 500, 37):
+            assert rmi.lookup(int(keys[i])) == i
+
+
+class TestTwoStageRMI:
+    @pytest.fixture
+    def rmi(self, sorted_keys):
+        return TwoStageRMI(sorted_keys, 16, MemoryMap(), "rmi")
+
+    def test_lookup_finds_every_key(self, rmi, sorted_keys):
+        for i in range(0, len(sorted_keys), 53):
+            assert rmi.lookup(int(sorted_keys[i])) == i
+
+    def test_lookup_missing_returns_minus_one(self, rmi, sorted_keys):
+        present = set(sorted_keys.tolist())
+        probe = int(sorted_keys[10]) + 1
+        if probe not in present:
+            assert rmi.lookup(probe) == -1
+
+    def test_position_for_is_rank(self, rmi, sorted_keys):
+        for i in range(0, len(sorted_keys), 97):
+            k = int(sorted_keys[i])
+            assert rmi.position_for(k) == i + 1  # rank: keys <= k
+            if k > 0 and np.uint64(k - 1) not in sorted_keys:
+                assert rmi.position_for(k - 1) == i
+
+    def test_predict_within_error(self, rmi, sorted_keys):
+        for i in range(0, len(sorted_keys), 111):
+            pos, err = rmi.predict(int(sorted_keys[i]))
+            assert abs(pos - i) <= err + 1
+
+    def test_empty(self):
+        rmi = TwoStageRMI(np.array([], dtype=np.uint64), 4, MemoryMap(), "r")
+        assert rmi.lookup(5) == -1
+        assert rmi.position_for(5) == 0
+
+    def test_single_model(self, sorted_keys):
+        rmi = TwoStageRMI(sorted_keys, 1, MemoryMap(), "r")
+        assert rmi.lookup(int(sorted_keys[123])) == 123
+
+    def test_traces_secondary_steps(self, rmi, sorted_keys):
+        with tracer() as t:
+            rmi.lookup(int(sorted_keys[500]))
+        assert t.secondary_steps >= 1
+        assert len(t.reads) >= t.secondary_steps

@@ -1,0 +1,121 @@
+"""Tests for the comparison segmentation algorithms (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gpl import PartitionStats, gpl_partition_scalar
+from repro.core.segmentation import lpa_partition, shrinking_cone_partition
+
+
+def check_cover(keys, segments):
+    assert segments[0].start == 0
+    assert segments[-1].end == len(keys)
+    for a, b in zip(segments, segments[1:]):
+        assert a.end == b.start
+
+
+class TestShrinkingCone:
+    def test_linear_data_one_segment(self):
+        keys = np.arange(0, 10_000, 5, dtype=np.uint64)
+        segs = shrinking_cone_partition(keys, 16)
+        assert len(segs) == 1
+
+    def test_cover(self, sorted_keys):
+        check_cover(sorted_keys, shrinking_cone_partition(sorted_keys, 32))
+
+    def test_empty_and_single(self):
+        assert shrinking_cone_partition(np.array([], dtype=np.uint64), 8) == []
+        segs = shrinking_cone_partition(np.array([5], dtype=np.uint64), 8)
+        assert len(segs) == 1 and segs[0].length == 1
+
+    def test_more_slope_updates_than_gpl(self, sorted_keys):
+        """The paper's Fig. 4 claim: ShrinkingCone re-tightens both cone
+        slopes on nearly every point; GPL's envelope updates rarely."""
+        sc = PartitionStats()
+        shrinking_cone_partition(sorted_keys, 64, stats=sc)
+        gpl = PartitionStats()
+        gpl_partition_scalar(sorted_keys, 64, stats=gpl)
+        assert sc.slope_updates > gpl.slope_updates
+
+    def test_smaller_epsilon_more_segments(self, sorted_keys):
+        fine = shrinking_cone_partition(sorted_keys, 8)
+        coarse = shrinking_cone_partition(sorted_keys, 128)
+        assert len(fine) >= len(coarse)
+
+
+class TestLPA:
+    def test_cover(self, sorted_keys):
+        check_cover(sorted_keys, lpa_partition(sorted_keys, 32))
+
+    def test_linear_data_few_segments(self):
+        keys = np.arange(0, 50_000, 7, dtype=np.uint64)
+        segs = lpa_partition(keys, 32)
+        assert len(segs) <= 3
+
+    def test_residual_bound_holds(self, sorted_keys):
+        """Each LPA segment's OLS fit keeps max residual <= epsilon."""
+        eps = 32
+        for seg in lpa_partition(sorted_keys, eps):
+            if seg.length < 3:
+                continue
+            xs = sorted_keys[seg.start : seg.end].astype(np.float64)
+            xs = xs - xs[0]
+            ys = np.arange(seg.length, dtype=np.float64)
+            # refit as the algorithm does and verify the bound
+            xm, ym = xs.mean(), ys.mean()
+            denom = ((xs - xm) ** 2).sum()
+            slope = ((xs - xm) * (ys - ym)).sum() / denom if denom else 0.0
+            b = ym - slope * xm
+            assert np.abs(ys - (slope * xs + b)).max() <= eps + 1e-6
+
+    def test_refit_stats(self, sorted_keys):
+        stats = PartitionStats()
+        lpa_partition(sorted_keys, 32, stats=stats)
+        assert stats.refits >= 1
+        assert stats.points_scanned >= len(sorted_keys)
+
+    def test_empty_and_single(self):
+        assert lpa_partition(np.array([], dtype=np.uint64), 8) == []
+        segs = lpa_partition(np.array([5], dtype=np.uint64), 8)
+        assert len(segs) == 1
+
+    def test_probe_size_insensitive_coverage(self, small_keys):
+        for probe in (8, 64, 1024):
+            check_cover(small_keys, lpa_partition(small_keys, 16, probe=probe))
+
+
+class TestAlgorithmComparison:
+    def test_rough_data_fragments_everyone(self):
+        rng = np.random.default_rng(0)
+        keys = np.unique(
+            np.cumsum(rng.pareto(1.0, size=5000) * 100 + 1).astype(np.uint64)
+        )
+        for algo in (
+            lambda k: gpl_partition_scalar(k, 16),
+            lambda k: shrinking_cone_partition(k, 16),
+            lambda k: lpa_partition(k, 16),
+        ):
+            segs = algo(keys)
+            assert len(segs) > 5
+            check_cover(keys, segs)
+
+    def test_paper_scale_separation(self):
+        """Fig. 3a/8d's shape: GPL at ε=N/1000 keeps the model count in
+        a fixed band as N grows, while LPA at FINEdex's fixed ε=32 grows
+        linearly — the scaling that puts competitors at the million
+        level and ALT at the thousand level on 200M keys."""
+        from repro.core.gpl import gpl_partition
+        from repro.datasets import dataset
+
+        small = dataset("fb", 150_000, seed=3)
+        large = dataset("fb", 600_000, seed=3)
+        gpl_small = len(gpl_partition(small, len(small) // 1000))
+        gpl_large = len(gpl_partition(large, len(large) // 1000))
+        lpa_small = len(lpa_partition(small, 32))
+        lpa_large = len(lpa_partition(large, 32))
+        lpa_growth = lpa_large / lpa_small
+        gpl_growth = gpl_large / gpl_small
+        assert lpa_growth > 2.0, (lpa_small, lpa_large)
+        assert gpl_growth < lpa_growth / 1.5, (gpl_small, gpl_large)
+        # And at the larger scale GPL is already the smaller count.
+        assert gpl_large < lpa_large

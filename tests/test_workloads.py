@@ -1,0 +1,157 @@
+"""Tests for workload specifications and operation generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BALANCED,
+    HOT_WRITE,
+    READ_ONLY,
+    SCAN,
+    WORKLOADS,
+    WRITE_ONLY,
+    WorkloadSpec,
+    ZipfSampler,
+    generate_ops,
+    split_dataset,
+)
+
+
+class TestSpec:
+    def test_presets_sum_to_one(self):
+        for spec in WORKLOADS.values():
+            assert spec.read_frac + spec.insert_frac + spec.scan_frac == pytest.approx(1.0)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 0.5, 0.2)
+
+    def test_seven_paper_workloads(self):
+        assert set(WORKLOADS) == {
+            "read-only",
+            "read-heavy",
+            "balanced",
+            "write-heavy",
+            "write-only",
+            "hot-write",
+            "scan",
+        }
+
+
+class TestZipf:
+    def test_bounds(self):
+        z = ZipfSampler(100, 0.99, seed=1)
+        s = z.sample(10_000)
+        assert s.min() >= 0 and s.max() < 100
+
+    def test_skew_concentrates_mass(self):
+        z = ZipfSampler(10_000, 0.99, seed=1)
+        s = z.sample(50_000)
+        hot = set(z.hottest(100).tolist())
+        hot_hits = sum(1 for x in s if int(x) in hot)
+        assert hot_hits / len(s) > 0.25  # top 1% of items >25% of mass
+
+    def test_theta_zero_is_uniform(self):
+        z = ZipfSampler(1000, 0.0, seed=1)
+        s = z.sample(50_000)
+        counts = np.bincount(s, minlength=1000)
+        assert counts.max() < 5 * counts.mean()
+
+    def test_higher_theta_more_skew(self):
+        lo = ZipfSampler(5000, 0.5, seed=2)
+        hi = ZipfSampler(5000, 1.2, seed=2)
+        top_lo = np.bincount(lo.sample(30_000), minlength=5000).max()
+        top_hi = np.bincount(hi.sample(30_000), minlength=5000).max()
+        assert top_hi > top_lo
+
+    def test_scrambled_not_ordered(self):
+        z = ZipfSampler(1000, 0.99, seed=3)
+        hot = z.hottest(10)
+        assert sorted(hot.tolist()) != list(range(10))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.99)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1)
+
+
+class TestSplit:
+    def test_fraction_respected(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        assert len(split.load_keys) == len(sorted_keys) // 2
+        assert len(split.load_keys) + len(split.insert_keys) == len(sorted_keys)
+
+    def test_disjoint_and_sorted(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        a = set(split.load_keys.tolist())
+        b = set(split.insert_keys.tolist())
+        assert not (a & b)
+        assert np.all(np.diff(split.load_keys.astype(np.float64)) > 0)
+
+    def test_other_fractions(self, sorted_keys):
+        for frac in (0.1, 0.25, 0.75, 0.9):
+            split = split_dataset(sorted_keys, frac)
+            assert len(split.load_keys) == int(len(sorted_keys) * frac)
+
+    def test_hot_keys_consecutive_slice(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        hot = split.hot_keys
+        assert len(hot) >= 1
+        # consecutive within the reserve ordering
+        idx = np.searchsorted(split.insert_keys, hot)
+        assert np.all(np.diff(idx) == 1)
+
+
+class TestGenerateOps:
+    def test_mix_ratio(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        ops = generate_ops(BALANCED, split, 4000, seed=1)
+        reads = sum(1 for o in ops if o.kind == "read")
+        inserts = sum(1 for o in ops if o.kind == "insert")
+        assert abs(reads / 4000 - 0.5) < 0.05
+        assert reads + inserts == 4000
+
+    def test_read_only_has_no_inserts(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        ops = generate_ops(READ_ONLY, split, 1000)
+        assert all(o.kind == "read" for o in ops)
+
+    def test_write_only(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        ops = generate_ops(WRITE_ONLY, split, 1000)
+        assert all(o.kind == "insert" for o in ops)
+
+    def test_scan_workload(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        ops = generate_ops(SCAN, split, 500)
+        assert all(o.kind == "scan" and o.length == 100 for o in ops)
+
+    def test_insert_keys_come_from_reserve(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        reserve = set(split.insert_keys.tolist())
+        ops = generate_ops(BALANCED, split, 2000)
+        for o in ops:
+            if o.kind == "insert":
+                assert o.key in reserve
+
+    def test_hot_write_sequential(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        ops = generate_ops(HOT_WRITE, split, 1000)
+        ins = [o.key for o in ops if o.kind == "insert"]
+        assert ins == sorted(ins)
+        hot = set(split.hot_keys.tolist())
+        assert all(k in hot for k in ins[: len(hot)])
+
+    def test_reads_cover_inserted_keys(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        ops = generate_ops(BALANCED, split, 6000, seed=4)
+        inserted = {o.key for o in ops if o.kind == "insert"}
+        read = {o.key for o in ops if o.kind == "read"}
+        assert read & inserted, "reads must also target inserted keys"
+
+    def test_deterministic(self, sorted_keys):
+        split = split_dataset(sorted_keys, 0.5)
+        a = generate_ops(BALANCED, split, 500, seed=9)
+        b = generate_ops(BALANCED, split, 500, seed=9)
+        assert a == b
