@@ -21,6 +21,7 @@ from repro.bench.reporting import banner
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "paper: regenerates a paper table/figure")
+    config.addinivalue_line("markers", "batch: exercises the BatchIndex vectorized layer")
 
 
 @pytest.fixture(scope="session")

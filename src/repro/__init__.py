@@ -18,7 +18,7 @@ Quickstart::
     index.scan(int(keys[0]), 10)
 """
 
-from repro.common import OrderedIndex
+from repro.common import BatchIndex, OrderedIndex
 from repro.core.alt_index import ALTIndex
 from repro.core.analysis import suggest_error_bound
 from repro.core.gpl import Segment, gpl_partition
@@ -27,6 +27,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALTIndex",
+    "BatchIndex",
     "OrderedIndex",
     "Segment",
     "gpl_partition",

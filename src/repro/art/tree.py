@@ -69,6 +69,9 @@ class AdaptiveRadixTree:
         self._root_lock = OptimisticLock()
         self._size = 0
         self._size_lock = threading.Lock()
+        #: Bumped on every content change; batch fast paths use it to
+        #: invalidate cached sorted views of the tree.
+        self.mutations = 0
         self._replace_listeners: list[ReplaceListener] = []
         self.epoch = EpochManager()
 
@@ -102,6 +105,7 @@ class AdaptiveRadixTree:
         """
         while True:
             try:
+                self.mutations += 1
                 return self._insert(key, value, from_node, upsert)
             except RestartException:
                 continue
@@ -110,6 +114,7 @@ class AdaptiveRadixTree:
         """Delete ``key``; returns True if it was present."""
         while True:
             try:
+                self.mutations += 1
                 return self._remove(key)
             except RestartException:
                 continue

@@ -26,7 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.rmi import _LinearModel
-from repro.common import OrderedIndex, as_value_array, unique_tag
+from repro.common import BatchIndex, OrderedIndex, as_value_array, unique_tag
 from repro.concurrency.version_lock import OptimisticLock, RestartException
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
 
@@ -51,6 +51,7 @@ class _DataNode:
         "lock",
         "span",
         "first_key",
+        "_occ_view",
     )
 
     def __init__(self, keys: list[int], vals: list, memory: MemoryMap, tag: str):
@@ -61,6 +62,7 @@ class _DataNode:
         self.occ: list[bool] = [False] * self.n_slots
         self.num_keys = n
         self.first_key = keys[0] if n else 0
+        self._occ_view: tuple[np.ndarray, np.ndarray] | None = None
         self.lock = OptimisticLock()
         self.span = memory.alloc(
             _HEADER_BYTES + self.n_slots * _SLOT_BYTES, tag
@@ -98,6 +100,21 @@ class _DataNode:
     # -- search ------------------------------------------------------------
     def _slot_line(self, s: int) -> int:
         return self.span.line(_HEADER_BYTES + s * _SLOT_BYTES)
+
+    def occupied_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(sorted occupied keys, their slot indexes)`` arrays.
+
+        The batch fast path probes this with one ``searchsorted`` per
+        node instead of per-key exponential searches; any layout change
+        (insert shift, remove) invalidates it.
+        """
+        view = self._occ_view
+        if view is None:
+            occ = np.array(self.occ, dtype=bool)
+            oidx = np.flatnonzero(occ)
+            okeys = np.array(self.slots, dtype=np.uint64)[oidx]
+            view = self._occ_view = (okeys, oidx)
+        return view
 
     def lower_bound(self, key: int) -> int:
         """Leftmost slot with value >= key, rolled onto an occupied slot
@@ -205,6 +222,7 @@ class _DataNode:
         self.vals[target] = value
         self.occ[target] = True
         self.num_keys += 1
+        self._occ_view = None
         if t is not None:
             t.writes.append(self._slot_line(target))
             t.writes.append(self.span.line(0))  # header: count + lock word
@@ -216,6 +234,7 @@ class _DataNode:
             self.occ[s] = False  # key value stays behind as a gap copy
             self.vals[s] = None
             self.num_keys -= 1
+            self._occ_view = None
             t = current_tracer()
             if t is not None:
                 t.writes.append(self._slot_line(s))
@@ -253,6 +272,8 @@ class AlexIndex(OrderedIndex):
         self._size = 0
         self._size_lock = threading.Lock()
         self.splits = 0
+        self._mutations = 0
+        self._flat_view: tuple | None = None
 
     @classmethod
     def bulk_load(
@@ -343,6 +364,7 @@ class AlexIndex(OrderedIndex):
             self._nodes[i : i + 1] = [left, right]
             self._rebuild_directory()
             self.splits += 1
+            self._mutations += 1
             t = current_tracer()
             if t is not None:
                 t.writes.append(self._dir_span.line(0))
@@ -365,6 +387,61 @@ class AlexIndex(OrderedIndex):
             if removed:
                 self._bump(-1)
             return removed
+
+    def _flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached globally-sorted ``(keys, node_idx, slot_idx)`` arrays.
+
+        Nodes are ordered by ``first_key`` and occupied keys within each
+        node are sorted, so concatenating the per-node occupied views
+        yields one globally sorted key array — a whole batch resolves
+        with a single ``searchsorted``.  Values are read live through
+        ``(node_idx, slot_idx)``, so value-updating inserts do not stale
+        the view; structural changes (new key, remove, split) bump
+        ``_mutations`` and force a rebuild.
+        """
+        view = self._flat_view
+        if view is None or view[3] != self._mutations:
+            ks, nidx, sidx = [], [], []
+            for i, node in enumerate(self._nodes):
+                okeys, oidx = node.occupied_view()
+                if len(okeys):
+                    ks.append(okeys)
+                    nidx.append(np.full(len(oidx), i, dtype=np.int64))
+                    sidx.append(oidx)
+            if ks:
+                flat = (np.concatenate(ks), np.concatenate(nidx), np.concatenate(sidx))
+            else:
+                flat = (
+                    np.empty(0, dtype=np.uint64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+            view = self._flat_view = (*flat, self._mutations)
+        return view[0], view[1], view[2]
+
+    def batch_get(self, keys) -> list:
+        """Vectorized lookup: one ``searchsorted`` over the flat sorted
+        occupied-key view resolves the whole batch; hit values are read
+        live from their nodes.  Delegates to the per-key loop under an
+        active tracer (identical CostTrace totals)."""
+        if current_tracer() is not None:
+            return BatchIndex.batch_get(self, keys)
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return []
+        out: list = [None] * n
+        flat_keys, nidx, sidx = self._flat()
+        if len(flat_keys) == 0:
+            return out
+        pos = np.searchsorted(flat_keys, keys)
+        np.clip(pos, 0, len(flat_keys) - 1, out=pos)
+        hits = np.flatnonzero(flat_keys[pos] == keys)
+        hp = pos[hits]
+        nodes = self._nodes
+        for j, ni, si in zip(hits.tolist(), nidx[hp].tolist(), sidx[hp].tolist()):
+            out[j] = nodes[ni].vals[si]
+        return out
 
     def scan(self, lo: int, count: int) -> list[tuple[int, object]]:
         i = max(
@@ -395,6 +472,7 @@ class AlexIndex(OrderedIndex):
     def _bump(self, delta: int) -> None:
         with self._size_lock:
             self._size += delta
+            self._mutations += 1
 
     def __len__(self) -> int:
         return self._size

@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.common import OrderedIndex, as_value_array, unique_tag
+from repro.common import BatchIndex, OrderedIndex, as_value_array, unique_tag
 from repro.concurrency.version_lock import OptimisticLock
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
 
@@ -29,7 +29,7 @@ _ENTRY_BYTES = 16
 
 
 class _BNode:
-    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf", "span", "lock")
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf", "span", "lock", "_np_keys")
 
     def __init__(self, is_leaf: bool, memory: MemoryMap, tag: str):
         self.keys: list[int] = []
@@ -39,6 +39,14 @@ class _BNode:
         self.is_leaf = is_leaf
         self.span = memory.alloc(_HEADER_BYTES + _ORDER * _ENTRY_BYTES, tag)
         self.lock = OptimisticLock()
+        self._np_keys: np.ndarray | None = None
+
+    def keys_np(self) -> np.ndarray:
+        """Cached NumPy view of this leaf's keys for batch ``searchsorted``
+        probes; invalidated by every structural mutation."""
+        if self._np_keys is None:
+            self._np_keys = np.array(self.keys, dtype=np.uint64)
+        return self._np_keys
 
     def trace_visit(self) -> None:
         t = current_tracer()
@@ -60,6 +68,8 @@ class BPlusTreeIndex(OrderedIndex):
         self._root = _BNode(True, self._memory, self.mem_tag)
         self._size = 0
         self._lock = threading.RLock()
+        self._mutations = 0
+        self._flat_view: tuple | None = None
 
     @classmethod
     def bulk_load(
@@ -113,6 +123,65 @@ class BPlusTreeIndex(OrderedIndex):
             return leaf.values[i]
         return None
 
+    def _flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[_BNode]]:
+        """Cached globally-sorted ``(keys, leaf_idx, slot_idx, leaves)``.
+
+        Built by walking the linked leaf chain, whose concatenated keys
+        are globally sorted — a whole batch then resolves with a single
+        ``searchsorted`` instead of one tree descent per key.  Values
+        are read live through ``(leaf_idx, slot_idx)``, so value updates
+        do not stale the view; structural mutations (new key, remove,
+        split) bump ``_mutations`` and force a rebuild.
+        """
+        view = self._flat_view
+        if view is None or view[4] != self._mutations:
+            leaf = self._root
+            while not leaf.is_leaf:
+                leaf = leaf.children[0]
+            leaves: list[_BNode] = []
+            ks, lidx, sidx = [], [], []
+            while leaf is not None:
+                lk = leaf.keys_np()
+                if len(lk):
+                    ks.append(lk)
+                    lidx.append(np.full(len(lk), len(leaves), dtype=np.int64))
+                    sidx.append(np.arange(len(lk), dtype=np.int64))
+                    leaves.append(leaf)
+                leaf = leaf.next_leaf
+            if ks:
+                flat = (np.concatenate(ks), np.concatenate(lidx), np.concatenate(sidx))
+            else:
+                flat = (
+                    np.empty(0, dtype=np.uint64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+            view = self._flat_view = (*flat, leaves, self._mutations)
+        return view[0], view[1], view[2], view[3]
+
+    def batch_get(self, keys) -> list:
+        """Vectorized lookup: one ``searchsorted`` over the flat sorted
+        leaf-chain view resolves the whole batch; hit values are read
+        live from their leaves.  Delegates to the per-key loop under an
+        active tracer (identical CostTrace totals)."""
+        if current_tracer() is not None:
+            return BatchIndex.batch_get(self, keys)
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return []
+        out: list = [None] * n
+        flat_keys, lidx, sidx, leaves = self._flat()
+        if len(flat_keys) == 0:
+            return out
+        pos = np.searchsorted(flat_keys, keys)
+        np.clip(pos, 0, len(flat_keys) - 1, out=pos)
+        hits = np.flatnonzero(flat_keys[pos] == keys)
+        hp = pos[hits]
+        for j, li, si in zip(hits.tolist(), lidx[hp].tolist(), sidx[hp].tolist()):
+            out[j] = leaves[li].values[si]
+        return out
+
     def insert(self, key: int, value) -> bool:
         with self._lock:
             new = self._insert_rec(self._root, key, value)
@@ -125,6 +194,7 @@ class BPlusTreeIndex(OrderedIndex):
                 root.children = [self._root, right]
                 self._root = root
             self._size += 1
+            self._mutations += 1
             return True
 
     def _insert_rec(self, node: _BNode, key: int, value):
@@ -137,6 +207,7 @@ class BPlusTreeIndex(OrderedIndex):
                 return False
             node.keys.insert(i, key)
             node.values.insert(i, value)
+            node._np_keys = None
             if t is not None:
                 t.writes.append(node.span.line(_HEADER_BYTES + (i * _ENTRY_BYTES) % (_ORDER * _ENTRY_BYTES)))
                 t.slots_shifted += len(node.keys) - i
@@ -163,6 +234,7 @@ class BPlusTreeIndex(OrderedIndex):
         right.values = node.values[mid:]
         node.keys = node.keys[:mid]
         node.values = node.values[:mid]
+        node._np_keys = None
         right.next_leaf = node.next_leaf
         node.next_leaf = right
         return right.keys[0], right
@@ -184,7 +256,9 @@ class BPlusTreeIndex(OrderedIndex):
             if i < len(leaf.keys) and leaf.keys[i] == key:
                 del leaf.keys[i]
                 del leaf.values[i]
+                leaf._np_keys = None
                 self._size -= 1
+                self._mutations += 1
                 return True
             return False
 

@@ -8,7 +8,14 @@
 - :mod:`repro.bench.reporting` — paper-style text tables.
 """
 
-from repro.bench.harness import ExperimentResult, run_experiment, trace_ops
+from repro.bench.harness import (
+    ExperimentResult,
+    batch_microbenchmark,
+    batch_ops,
+    run_experiment,
+    trace_ops,
+    trace_ops_batched,
+)
 from repro.bench.memory import memory_breakdown
 from repro.bench.reporting import format_table
 from repro.bench.runner import (
@@ -23,9 +30,12 @@ __all__ = [
     "INDEX_FACTORIES",
     "base_ops",
     "base_scale",
+    "batch_microbenchmark",
+    "batch_ops",
     "format_table",
     "get_dataset",
     "memory_breakdown",
     "run_experiment",
     "trace_ops",
+    "trace_ops_batched",
 ]

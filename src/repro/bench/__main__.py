@@ -1,0 +1,11 @@
+"""``python -m repro.bench``: the batch-layer microbenchmark CLI.
+
+Thin alias for ``python -m repro.bench.harness`` that avoids the runpy
+double-import warning (the package imports :mod:`repro.bench.harness`
+itself).  See :func:`repro.bench.harness.main` for the flags.
+"""
+
+from repro.bench.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

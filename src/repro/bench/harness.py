@@ -80,6 +80,54 @@ def trace_ops(index: OrderedIndex, ops: list[Operation]) -> list[CostTrace]:
     return traces
 
 
+def batch_ops(ops: list[Operation], batch_size: int) -> list[tuple[str, list[Operation]]]:
+    """Group consecutive same-kind operations into batches.
+
+    Batches never reorder operations across kind boundaries, so a
+    batched run applies mutations in the same order as the scalar run.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    groups: list[tuple[str, list[Operation]]] = []
+    cur_kind: str | None = None
+    cur: list[Operation] = []
+    for op in ops:
+        if op.kind != cur_kind or len(cur) >= batch_size:
+            if cur:
+                groups.append((cur_kind, cur))
+            cur_kind, cur = op.kind, []
+        cur.append(op)
+    if cur:
+        groups.append((cur_kind, cur))
+    return groups
+
+
+def trace_ops_batched(
+    index: OrderedIndex, ops: list[Operation], batch_size: int
+) -> list[CostTrace]:
+    """Drive operations through the batch API, one cost trace per batch.
+
+    Because batch operations accumulate the same aggregate CostTrace
+    totals as the equivalent per-key loops (see
+    :class:`repro.common.BatchIndex`), the summed counts over a workload
+    equal the scalar run's — only the trace granularity changes (one
+    trace per batch instead of per op).
+    """
+    traces: list[CostTrace] = []
+    for kind, group in batch_ops(ops, batch_size):
+        with tracer() as t:
+            if kind == "read":
+                index.batch_get(np.array([op.key for op in group], dtype=np.uint64))
+            elif kind == "insert":
+                ks = np.array([op.key for op in group], dtype=np.uint64)
+                index.batch_insert(ks, [op.key for op in group])
+            else:
+                for op in group:  # scans stay per-op: results vary per cursor
+                    index.scan(op.key, op.length)
+        traces.append(t)
+    return traces
+
+
 def run_experiment(
     index_cls,
     dataset_name: str,
@@ -93,12 +141,18 @@ def run_experiment(
     warmup_frac: float = 0.5,
     sim_config: SimConfig | None = None,
     bulk_options: dict | None = None,
+    batch_size: int | None = None,
 ) -> ExperimentResult:
     """Run one (index, dataset, workload, threads) experiment cell.
 
     ``warmup_frac`` extra operations are prepended and executed but
     excluded from the reported metrics, so virtual caches measure steady
     state rather than cold starts.
+
+    With ``batch_size`` set, the workload is driven through the batch
+    API (:class:`repro.common.BatchIndex`): consecutive same-kind ops
+    are grouped into batches of that size and each batch is traced as
+    one operation.  Aggregate trace totals equal the scalar run's.
     """
     split = split_dataset(keys, load_frac, seed=seed)
     start = time.perf_counter()
@@ -106,8 +160,14 @@ def run_experiment(
     build_seconds = time.perf_counter() - start
     warmup = int(n_ops * warmup_frac)
     ops = generate_ops(spec, split, n_ops + warmup, theta=theta, seed=seed)
-    traces = trace_ops(index, ops)
-    sim = simulate(traces, sim_config or SimConfig(threads=threads), warmup=warmup)
+    if batch_size is not None:
+        warm_traces = trace_ops_batched(index, ops[:warmup], batch_size)
+        traces = warm_traces + trace_ops_batched(index, ops[warmup:], batch_size)
+        sim_warmup = len(warm_traces)
+    else:
+        traces = trace_ops(index, ops)
+        sim_warmup = warmup
+    sim = simulate(traces, sim_config or SimConfig(threads=threads), warmup=sim_warmup)
     return ExperimentResult(
         index_name=index_cls.NAME,
         dataset=dataset_name,
@@ -119,3 +179,139 @@ def run_experiment(
         build_seconds=build_seconds,
         index_stats=index.stats(),
     )
+
+
+def batch_microbenchmark(
+    index_cls,
+    dataset_name: str = "lognormal",
+    n: int = 1_000_000,
+    batch_size: int = 1024,
+    lookups: int = 102_400,
+    seed: int = 0,
+    verify: bool = True,
+) -> dict:
+    """Wall-clock scalar-vs-batch ``batch_get`` comparison (one row).
+
+    Builds the index on the full dataset, samples ``lookups`` present
+    keys, and times the per-key loop against the batch API at
+    ``batch_size``.  With ``verify`` (default), also asserts result
+    equality and scalar/batch CostTrace total-equality on a prefix.
+    """
+    from repro.datasets.generators import dataset
+
+    keys = dataset(dataset_name, n, seed=seed)
+    start = time.perf_counter()
+    index = index_cls.bulk_load(keys)
+    build_seconds = time.perf_counter() - start
+    rng = np.random.default_rng(seed + 1)
+    probe = rng.choice(keys, size=lookups, replace=True).astype(np.uint64)
+
+    index.batch_get(probe[:batch_size])  # warm caches and snapshots
+    start = time.perf_counter()
+    batch_results: list = []
+    for i in range(0, len(probe), batch_size):
+        batch_results.extend(index.batch_get(probe[i : i + batch_size]))
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    get = index.get
+    scalar_results = [get(int(k)) for k in probe]
+    scalar_seconds = time.perf_counter() - start
+
+    if verify:
+        if scalar_results != batch_results:
+            raise AssertionError("batch_get results diverge from per-key loop")
+        prefix = probe[: min(len(probe), 2 * batch_size)]
+        with tracer() as ts:
+            for k in prefix:
+                get(int(k))
+        with tracer() as tb:
+            for i in range(0, len(prefix), batch_size):
+                index.batch_get(prefix[i : i + batch_size])
+        if ts.scalars() != tb.scalars() or sorted(ts.reads) != sorted(tb.reads):
+            raise AssertionError("batch CostTrace totals diverge from scalar totals")
+
+    return {
+        "index": index_cls.NAME,
+        "dataset": dataset_name,
+        "n_keys": n,
+        "batch": batch_size,
+        "scalar_us_op": round(scalar_seconds / lookups * 1e6, 3),
+        "batch_us_op": round(batch_seconds / lookups * 1e6, 3),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "build_s": round(build_seconds, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.bench.harness``: the batch-layer microbenchmark.
+
+    Measures scalar-vs-batch lookup throughput (the EXPERIMENTS.md
+    batch table) and optionally a simulated workload cell driven through
+    the batch API (``--workload``).
+    """
+    import argparse
+
+    from repro.bench.reporting import format_table
+    from repro.bench.runner import INDEX_FACTORIES
+    from repro.baselines.btree import BPlusTreeIndex
+
+    factories = dict(INDEX_FACTORIES)
+    factories[BPlusTreeIndex.NAME] = BPlusTreeIndex
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.harness",
+        description="Scalar-vs-batch index operation microbenchmark.",
+    )
+    parser.add_argument("--dataset", default="lognormal")
+    parser.add_argument("--n", type=int, default=1_000_000, help="dataset size in keys")
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument("--lookups", type=int, default=102_400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--index",
+        action="append",
+        choices=sorted(factories),
+        help="index to benchmark (repeatable; default: ALT-index)",
+    )
+    parser.add_argument(
+        "--workload",
+        default=None,
+        help="also run this workload through run_experiment(batch_size=...)",
+    )
+    parser.add_argument("--no-verify", action="store_true")
+    args = parser.parse_args(argv)
+    if args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+
+    rows = []
+    for name in args.index or ["ALT-index"]:
+        rows.append(
+            batch_microbenchmark(
+                factories[name],
+                dataset_name=args.dataset,
+                n=args.n,
+                batch_size=args.batch_size,
+                lookups=args.lookups,
+                seed=args.seed,
+                verify=not args.no_verify,
+            )
+        )
+    print(format_table(rows))
+
+    if args.workload is not None:
+        from repro.datasets.generators import dataset
+        from repro.workloads import WORKLOADS
+
+        spec = WORKLOADS[args.workload]
+        keys = dataset(args.dataset, args.n, seed=args.seed)
+        cls = factories[args.index[0] if args.index else "ALT-index"]
+        result = run_experiment(
+            cls, args.dataset, keys, spec, batch_size=args.batch_size
+        )
+        print(format_table([result.row()]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

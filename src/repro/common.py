@@ -16,7 +16,72 @@ import numpy as np
 from repro.sim.trace import global_memory
 
 
-class OrderedIndex(abc.ABC):
+class BatchIndex:
+    """Mixin: vectorized batch operations over an ordered index.
+
+    Every :class:`OrderedIndex` inherits these generic, loop-based
+    implementations for free; indexes whose data layout allows it
+    (contiguous model arrays, sorted slot arrays) override them with
+    NumPy-vectorized fast paths.  See ``docs/API.md`` for the contract.
+
+    Two invariants every override must preserve:
+
+    1. **Result equivalence** — ``batch_get(keys)`` returns exactly
+       ``[self.get(k) for k in keys]``, including ``None`` for misses and
+       duplicate keys resolved identically.
+    2. **Trace equivalence** — under an active
+       :func:`repro.sim.trace.tracer`, a batch operation accumulates the
+       same aggregate :class:`~repro.sim.trace.CostTrace` totals as the
+       equivalent per-key loop (overrides delegate to the scalar path
+       when a tracer is active, so equality holds by construction and
+       ``repro.sim`` results are unchanged).
+
+    Batch fast paths read index internals without per-slot seqlock
+    validation, so they assume no *concurrent* writers (the scalar
+    operations remain safe under the paper's concurrency protocols);
+    interleaving batch calls with scalar mutations from the same thread
+    is always safe.
+    """
+
+    def batch_get(self, keys: Iterable[int] | np.ndarray) -> list:
+        """Values for ``keys`` in order (``None`` where absent)."""
+        get = self.get
+        return [get(int(k)) for k in keys]
+
+    def batch_insert(
+        self, keys: Iterable[int] | np.ndarray, values: Sequence | None = None
+    ) -> np.ndarray:
+        """Insert many pairs; returns a bool array of newly-inserted flags.
+
+        ``values`` defaults to the keys themselves (SOSD convention).
+        Duplicate keys within the batch behave like sequential inserts:
+        the first occurrence inserts, later ones update.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = as_value_array(keys, values)
+        insert = self.insert
+        out = np.empty(len(keys), dtype=bool)
+        for i in range(len(keys)):
+            out[i] = insert(int(keys[i]), values[i])
+        return out
+
+    def batch_remove(self, keys: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Remove many keys; returns a bool array of was-present flags."""
+        remove = self.remove
+        return np.array([remove(int(k)) for k in keys], dtype=bool)
+
+    def batch_range(
+        self, lo: int, hi: int, limit: int | None = None
+    ) -> list[tuple[int, object]]:
+        """Sorted pairs with ``lo <= key <= hi``, truncated to ``limit``."""
+        if limit is None:
+            return self.range_query(lo, hi)
+        if limit <= 0:
+            return []
+        return [pair for pair in self.scan(lo, limit) if pair[0] <= hi]
+
+
+class OrderedIndex(BatchIndex, abc.ABC):
     """A concurrent ordered key-value index over uint64 keys."""
 
     #: Human-readable name used in benchmark tables.

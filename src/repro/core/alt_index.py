@@ -31,12 +31,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.art.tree import AdaptiveRadixTree
-from repro.common import OrderedIndex, as_value_array, unique_tag
+from repro.common import BatchIndex, OrderedIndex, as_value_array, unique_tag
 from repro.core.analysis import suggest_error_bound
 from repro.core.fast_pointer import FastPointerBuffer
 from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, LearnedLayer
 from repro.core.retrain import finish_expansion, maybe_start_expansion
-from repro.sim.trace import MemoryMap, global_memory
+from repro.sim.trace import MemoryMap, current_tracer, global_memory
 
 _UINT64_MAX = 2**64 - 1
 
@@ -71,6 +71,7 @@ class ALTIndex(OrderedIndex):
             )
         self._size = 0
         self._size_lock = threading.Lock()
+        self._art_view_cache: tuple[np.ndarray, list, int] | None = None
         self.conflict_inserts = 0
         self.writebacks = 0
         self.expansions = 0
@@ -184,6 +185,98 @@ class ALTIndex(OrderedIndex):
             self._art.remove(key)
             self.writebacks += 1
         return value
+
+    # ------------------------------------------------------------------
+    # Batch search (vectorized Algorithm 2)
+    # ------------------------------------------------------------------
+    def _art_view(self) -> tuple[np.ndarray, list]:
+        """Sorted (keys, values) view of the ART-OPT layer, cached until
+        the tree reports a mutation."""
+        stamp = self._art.mutations
+        cached = self._art_view_cache
+        if cached is None or cached[2] != stamp:
+            items = self._art.items(0, _UINT64_MAX)
+            vkeys = np.fromiter(
+                (k for k, _ in items), dtype=np.uint64, count=len(items)
+            )
+            cached = (vkeys, [v for _, v in items], stamp)
+            self._art_view_cache = cached
+        return cached[0], cached[1]
+
+    def batch_get(self, keys) -> list:
+        """Vectorized lookup: one learned-layer probe for the whole batch,
+        falling through to the ART-OPT layer only for the conflict subset.
+
+        Equivalent to ``[self.get(k) for k in keys]`` — including the
+        Algorithm-2 write-back side effect — and delegates to exactly
+        that loop under an active tracer so CostTrace totals match the
+        per-key path.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return []
+        if current_tracer() is not None or not self._layer.models:
+            return BatchIndex.batch_get(self, keys)
+        snap = self._layer.snapshot()
+        midx, slots, state, resident = snap.probe(keys)
+        hit = (state == FULL) & (resident == keys)
+        out: list = [None] * n
+        models = snap.models
+        mi_l = midx.tolist()
+        sl_l = slots.tolist()
+        if bool(hit.all()):
+            for i in range(n):
+                out[i] = models[mi_l[i]].values[sl_l[i]]
+            return out
+        # Partition hits from conflict keys (Algorithm 2 lines 5-13).
+        keys_l = keys.tolist()
+        st_l = state.tolist()
+        miss_i: list[int] = []
+        miss_keys: list[int] = []
+        for i, h in enumerate(hit.tolist()):
+            if h:
+                out[i] = models[mi_l[i]].values[sl_l[i]]
+                continue
+            exp = models[mi_l[i]].expansion
+            if exp is not None:
+                found, bval = exp.lookup(keys_l[i])
+                if found:
+                    out[i] = bval
+                    continue
+            miss_i.append(i)
+            miss_keys.append(keys_l[i])
+        if not miss_keys:
+            return out
+        # One searchsorted over the sorted ART view resolves every
+        # conflict key at once.
+        vkeys, vvals = self._art_view()
+        mk = np.array(miss_keys, dtype=np.uint64)
+        pos = np.searchsorted(vkeys, mk)
+        in_range = pos < len(vkeys)
+        found = np.zeros(len(mk), dtype=bool)
+        found[in_range] = vkeys[pos[in_range]] == mk[in_range]
+        pos_l = pos.tolist()
+        found_l = found.tolist()
+        for j, i in enumerate(miss_i):
+            if not found_l[j]:
+                continue
+            value = vvals[pos_l[j]]
+            out[i] = value
+            model = models[mi_l[i]]
+            if model.expansion is None and st_l[i] in (EMPTY, TOMBSTONE):
+                # Write-back (Algorithm 2 lines 10-13): repatriate the
+                # key into its now-free predicted slot.  The slot state
+                # is re-read live — an earlier write-back in this batch
+                # may have filled it (two conflict keys can share a
+                # predicted slot), and overwriting would lose that key.
+                # The removal guard keeps a duplicate key later in the
+                # batch from writing back twice.
+                live_state = int(model.np_state[sl_l[i]])
+                if live_state != FULL and self._art.remove(keys_l[i]):
+                    model.write_slot(sl_l[i], keys_l[i], value)
+                    self.writebacks += 1
+        return out
 
     # ------------------------------------------------------------------
     # Algorithm 2: Insert

@@ -18,6 +18,11 @@ local linearity of the CDF (the paper's fitting difficulty δ_h):
 
 All generators return exactly ``n`` sorted, duplicate-free uint64 keys
 and are deterministic in ``seed``.
+
+A fifth generator, :func:`lognormal`, is not one of the paper's four:
+it is the classic learned-index microbenchmark distribution (lognormal
+key gaps, as in Kraska et al.'s RMI evaluation) used by the batch-layer
+microbenchmark (``python -m repro.bench.harness``).
 """
 
 from __future__ import annotations
@@ -121,7 +126,21 @@ def longlat(n: int, seed: int = 0) -> np.ndarray:
     return _finalize(keys, n, rng)
 
 
-_GENERATORS = {"fb": fb, "libio": libio, "osm": osm, "longlat": longlat}
+def lognormal(n: int, seed: int = 0) -> np.ndarray:
+    """Lognormal key gaps: the standard learned-index microbenchmark."""
+    rng = np.random.default_rng(seed)
+    gaps = np.exp(rng.normal(0.0, 2.0, size=n)) + 1.0
+    keys = np.cumsum(gaps).astype(np.uint64) + np.uint64(1)
+    return _finalize(keys, n, rng)
+
+
+_GENERATORS = {
+    "fb": fb,
+    "libio": libio,
+    "osm": osm,
+    "longlat": longlat,
+    "lognormal": lognormal,
+}
 
 
 def dataset(name: str, n: int, seed: int = 0) -> np.ndarray:
@@ -130,6 +149,6 @@ def dataset(name: str, n: int, seed: int = 0) -> np.ndarray:
         gen = _GENERATORS[name]
     except KeyError:
         raise ValueError(
-            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+            f"unknown dataset {name!r}; expected one of {tuple(_GENERATORS)}"
         ) from None
     return gen(n, seed)

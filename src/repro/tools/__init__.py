@@ -1,0 +1,6 @@
+"""Repository maintenance tools (not part of the index implementation).
+
+- :mod:`repro.tools.check_docs` — verify that every ``repro.*`` name
+  referenced in the documentation actually exists
+  (``python -m repro.tools.check_docs``).
+"""

@@ -27,3 +27,4 @@ def small_keys(rng):
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running integration tests")
+    config.addinivalue_line("markers", "batch: exercises the BatchIndex vectorized layer")
