@@ -23,6 +23,16 @@ Writers acquire node write locks via non-blocking upgrade and restart on
 failure, so the protocol is deadlock-free; readers never write shared
 state.  All operations record cache-line touches and node visits into the
 ambient cost trace.
+
+Restarts are *bounded* (Leis et al. assume this; we enforce it): every
+public operation runs its restart loop through a
+:class:`repro.concurrency.retry.BoundedRetry` policy.  After
+``fallback_after`` optimistic restarts the operation degrades gracefully
+to pessimism — it serializes through the tree's fallback lock so at most
+one aggressive retrier runs at a time, breaking writer-writer livelock;
+fallbacks are counted in :attr:`repro.sim.trace.CostTrace.fallbacks`.
+Chaos interleaving points (:func:`repro.chaos.point`) mark each descent
+step and lock transition for deterministic schedule exploration.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterator, Optional
 
+from repro import chaos
 from repro.art.nodes import (
     KEY_BYTES,
     Leaf,
@@ -42,6 +53,12 @@ from repro.art.nodes import (
     encode_key,
 )
 from repro.concurrency.epoch import EpochManager
+from repro.concurrency.retry import (
+    DEFAULT_RETRY,
+    BoundedRetry,
+    RetryState,
+    acquire_cooperative,
+)
 from repro.concurrency.version_lock import OptimisticLock, RestartException
 from repro.sim.trace import MemoryMap, active_tracer, global_memory
 
@@ -62,7 +79,12 @@ class AdaptiveRadixTree:
         Allocation tag, letting multiple indexes account memory separately.
     """
 
-    def __init__(self, memory: MemoryMap | None = None, tag: str = "art"):
+    def __init__(
+        self,
+        memory: MemoryMap | None = None,
+        tag: str = "art",
+        retry: BoundedRetry | None = None,
+    ):
         self._memory = memory or global_memory()
         self._tag = tag
         self._root: object | None = None
@@ -74,6 +96,11 @@ class AdaptiveRadixTree:
         self.mutations = 0
         self._replace_listeners: list[ReplaceListener] = []
         self.epoch = EpochManager()
+        self._retry = retry or DEFAULT_RETRY
+        # Pessimistic degradation: operations whose optimistic restarts
+        # exceed the policy's fallback threshold serialize through this
+        # lock (acquired cooperatively — see retry.acquire_cooperative).
+        self._fallback_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # public API
@@ -89,13 +116,42 @@ class AdaptiveRadixTree:
         """Register ``listener(old_node, new_node)`` for SMO notifications."""
         self._replace_listeners.append(listener)
 
+    def _with_restarts(self, site: str, attempt: Callable[[], object]):
+        """Run ``attempt`` under the bounded-restart protocol.
+
+        Optimistic restarts retry through :class:`BoundedRetry`; past the
+        policy's fallback threshold the operation serializes through the
+        tree's pessimistic fallback lock (graceful degradation instead of
+        livelock), and budget exhaustion raises
+        :class:`repro.concurrency.retry.RetryBudgetExceeded`.
+        """
+        state = self._retry.begin(site)
+        while not state.should_fallback:
+            try:
+                return attempt()
+            except RestartException:
+                state.step()
+        return self._run_pessimistic(state, attempt)
+
+    def _run_pessimistic(self, state: RetryState, attempt: Callable[[], object]):
+        state.count_fallback()
+        chaos.point("art.fallback")
+        acquire_cooperative(self._fallback_lock, state)
+        try:
+            while True:
+                try:
+                    return attempt()
+                except RestartException:
+                    # Still optimistic inside (a non-fallback writer can
+                    # interleave), but aggressive retriers are serialized,
+                    # so some operation always completes.
+                    state.step()
+        finally:
+            self._fallback_lock.release()
+
     def search(self, key: int, from_node=None):
         """Return the value for ``key`` or ``None``; restarts transparently."""
-        while True:
-            try:
-                return self._search(key, from_node)
-            except RestartException:
-                continue
+        return self._with_restarts("art.search", lambda: self._search(key, from_node))
 
     def insert(self, key: int, value, from_node=None, upsert: bool = False) -> bool:
         """Insert ``key``.
@@ -103,31 +159,25 @@ class AdaptiveRadixTree:
         Returns True if the key was newly inserted.  With ``upsert`` the
         value is replaced when the key exists (still returning False).
         """
-        while True:
-            try:
-                self.mutations += 1
-                return self._insert(key, value, from_node, upsert)
-            except RestartException:
-                continue
+        self.mutations += 1
+        return self._with_restarts(
+            "art.insert", lambda: self._insert(key, value, from_node, upsert)
+        )
 
     def remove(self, key: int) -> bool:
         """Delete ``key``; returns True if it was present."""
-        while True:
-            try:
-                self.mutations += 1
-                return self._remove(key)
-            except RestartException:
-                continue
+        self.mutations += 1
+        return self._with_restarts("art.remove", lambda: self._remove(key))
 
     def items(self, lo: int = 0, hi: int = 2**64 - 1) -> list[tuple[int, object]]:
         """Sorted (key, value) pairs with lo <= key <= hi."""
-        while True:
-            try:
-                out: list[tuple[int, object]] = []
-                self._collect(self._root, lo, hi, out)
-                return out
-            except RestartException:
-                continue
+
+        def attempt() -> list[tuple[int, object]]:
+            out: list[tuple[int, object]] = []
+            self._collect(self._root, lo, hi, out)
+            return out
+
+        return self._with_restarts("art.items", attempt)
 
     def scan(self, lo: int, limit: int) -> list[tuple[int, object]]:
         """Up to ``limit`` sorted (key, value) pairs with key >= lo.
@@ -136,13 +186,13 @@ class AdaptiveRadixTree:
         pruned byte-by-byte, and the walk stops once ``limit`` pairs are
         collected (short-scan workload, Fig. 8c).
         """
-        while True:
-            try:
-                out: list[tuple[int, object]] = []
-                self._scan(self._root, encode_key(lo), 0, True, limit, out)
-                return out
-            except RestartException:
-                continue
+
+        def attempt() -> list[tuple[int, object]]:
+            out: list[tuple[int, object]] = []
+            self._scan(self._root, encode_key(lo), 0, True, limit, out)
+            return out
+
+        return self._with_restarts("art.scan", attempt)
 
     def _scan(
         self, node, lo_bytes: bytes, depth: int, tight: bool, limit: int, out: list
@@ -210,7 +260,7 @@ class AdaptiveRadixTree:
             return None
         b1, b2 = encode_key(k1), encode_key(k2)
         depth = 0
-        while True:
+        while True:  # bounded: descends >=1 key byte per iteration
             p = node.prefix
             if p:
                 if b1[depth : depth + len(p)] != p or b2[depth : depth + len(p)] != p:
@@ -244,16 +294,16 @@ class AdaptiveRadixTree:
                 depth = 0
             else:
                 depth = node.match_level
-        while True:
+        while True:  # bounded: descent; conflicts raise RestartException
             if node is None:
                 return None
             if isinstance(node, Leaf):
                 trace.read_span(node.span)
                 return node.value if node.kbytes == kb else None
+            chaos.point("art.descend")
             version = node.lock.read_lock_or_restart()
             trace.read_span(node.span)
-            if hasattr(trace, "nodes_visited"):
-                trace.nodes_visited += 1
+            trace.nodes_visited += 1
             p = node.prefix
             if p and kb[depth : depth + len(p)] != p:
                 node.lock.read_unlock_or_restart(version)
@@ -342,13 +392,13 @@ class AdaptiveRadixTree:
             self._root_lock.read_unlock_or_restart(rv)
             depth = 0
 
-        while True:
+        while True:  # bounded: descent; conflicts raise RestartException
             if isinstance(node, Leaf):
                 return self._insert_at_leaf(node, key, kb, value, depth, upsert)
+            chaos.point("art.descend")
             version = node.lock.read_lock_or_restart()
             trace.read_span(node.span)
-            if hasattr(trace, "nodes_visited"):
-                trace.nodes_visited += 1
+            trace.nodes_visited += 1
             p = node.prefix
             cpl = common_prefix_len(p, kb[depth : depth + len(p)]) if p else 0
             if p and cpl < len(p):
@@ -499,7 +549,8 @@ class AdaptiveRadixTree:
         self._root_lock.read_unlock_or_restart(rv)
 
         depth = 0
-        while True:
+        while True:  # bounded: descent; conflicts raise RestartException
+            chaos.point("art.descend")
             version = node.lock.read_lock_or_restart()
             trace.read_span(node.span)
             p = node.prefix

@@ -1,0 +1,86 @@
+"""Deterministic fault injection and schedule exploration.
+
+The concurrency protocols of this repository (§III-E per-slot seqlocks,
+the spinlocked fast-pointer buffer, optimistic lock coupling in the ART)
+are exercised by real-thread stress tests — but a stress test cannot
+*reproduce* the interleaving that broke, and it explores only the tiny
+schedule neighbourhood the GIL happens to visit.  This package makes the
+interleavings first-class:
+
+- **Interleaving points.**  Every protocol threads named, zero-overhead-
+  when-disabled hooks — ``chaos.point("gpl.slot_cas")`` — at the places
+  where a preemption, delay, or crash changes the outcome.  With no
+  scheduler installed, :func:`point` is one global load and a ``None``
+  check.
+
+- **Seeded scheduling.**  A :class:`~repro.chaos.scheduler.ChaosScheduler`
+  runs a set of tasks *cooperatively*: exactly one task executes between
+  points, and at each point the scheduler's seeded RNG picks who runs
+  next.  The resulting interleaving is a pure function of the seed, so
+  any failure replays from its printed seed, and the full firing sequence
+  is available as :meth:`~repro.chaos.scheduler.ChaosScheduler.fingerprint`.
+
+- **Fault injection.**  ``scheduler.crash_at("slot.write_latched")`` kills a
+  task at a named point — e.g. a writer dying between ``write_begin`` and
+  ``write_end``, leaving the slot latched odd for the stuck-writer
+  detector and recovery path to handle.
+
+- **Checkers.**  :mod:`repro.chaos.history` records concurrent operation
+  histories and validates them against a sequential oracle
+  (linearizability); :mod:`repro.chaos.protocols` packages ready-made
+  seeded schedules per protocol, including deliberately planted
+  lost-update mutations the checker must catch.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.chaos --protocol all --seeds 3
+
+See docs/ARCHITECTURE.md ("Failure model & chaos harness").
+"""
+
+from __future__ import annotations
+
+from repro.chaos.scheduler import ChaosScheduler, InjectedCrash
+
+#: The installed scheduler, or None.  Module-global on purpose: the hot
+#: protocol paths call :func:`point` and must pay nothing when chaos is
+#: off.
+_active: ChaosScheduler | None = None
+
+
+def point(name: str) -> None:
+    """Named interleaving point.
+
+    No-op unless a :class:`ChaosScheduler` is installed *and* the calling
+    thread is one of its tasks — then the scheduler logs the firing, may
+    inject a crash, and may hand execution to another task.
+    """
+    s = _active
+    if s is not None:
+        s.on_point(name)
+
+
+def is_active() -> bool:
+    """True while a chaos scheduler controls this process's interleaving."""
+    return _active is not None
+
+
+def _install(scheduler: ChaosScheduler) -> None:
+    global _active
+    if _active is not None:
+        raise RuntimeError("a ChaosScheduler is already installed")
+    _active = scheduler
+
+
+def _uninstall(scheduler: ChaosScheduler) -> None:
+    global _active
+    if _active is scheduler:
+        _active = None
+
+
+__all__ = [
+    "ChaosScheduler",
+    "InjectedCrash",
+    "is_active",
+    "point",
+]

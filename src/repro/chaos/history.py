@@ -1,0 +1,217 @@
+"""Concurrent-history recording and linearizability checking.
+
+A chaos schedule produces a *history*: per operation, who called what
+with which arguments, what came back, and the (invocation, response)
+interval in a global logical clock.  The checker then asks the
+linearizability question (Herlihy & Wing): does there exist a total
+order of the operations that (a) respects real-time order — if op A
+responded before op B was invoked, A comes first — and (b) matches a
+*sequential oracle* step by step?
+
+The oracle here is a plain key→value map with the operations the index
+protocols expose (plus ``add``, a read-modify-write used to exhibit
+lost updates).  The search is the classic Wing & Gong DFS with
+memoization on (linearized-set, state) pairs — exponential in the worst
+case, entirely fine for the tens-of-operations histories chaos
+schedules produce.
+
+Torn reads and lost updates both surface as non-linearizable histories:
+a torn read returns a value no single sequential step could have
+produced; a lost update makes two increments yield one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class OpRecord:
+    """One completed (or crashed) operation in a concurrent history."""
+
+    task: str
+    op: str  # "get" | "put" | "insert" | "remove" | "update" | "add" | "register"
+    key: int
+    arg: object = None
+    result: object = None
+    invoked: int = -1
+    responded: int = -1
+    crashed: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"[{self.invoked},{self.responded}] {self.task}: "
+            f"{self.op}({self.key}{', ' + repr(self.arg) if self.arg is not None else ''})"
+            f" -> {self.result!r}{' CRASHED' if self.crashed else ''}"
+        )
+
+
+class HistoryRecorder:
+    """Collects :class:`OpRecord` s with a global logical clock.
+
+    Thread-safe; usable from chaos tasks and from real threads alike.
+    Under a cooperative chaos schedule only one task runs at a time, but
+    operations still *overlap logically* — an op invoked before another's
+    response has a concurrent interval, which is exactly what the
+    linearizability checker consumes.
+    """
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._lock = threading.Lock()
+        self.ops: list[OpRecord] = []
+
+    def _tick(self) -> int:
+        with self._lock:
+            self._clock += 1
+            return self._clock
+
+    def call(self, task: str, op: str, key: int, fn: Callable[[], object], arg=None):
+        """Record ``fn()`` as one operation; re-raises crashes/failures.
+
+        A crashed operation (any exception) is kept in the history as
+        pending-forever: it may or may not have taken effect, and the
+        checker treats it as free to linearize anywhere after its
+        invocation — or not at all.
+        """
+        rec = OpRecord(task=task, op=op, key=key, arg=arg, invoked=self._tick())
+        with self._lock:
+            self.ops.append(rec)
+        try:
+            rec.result = fn()
+        except BaseException:
+            rec.crashed = True
+            raise
+        rec.responded = self._tick()
+        return rec.result
+
+
+# -- sequential oracle ---------------------------------------------------
+
+
+def _apply(state: tuple, op: OpRecord) -> tuple[tuple, object] | None:
+    """Run ``op`` against the immutable map ``state``.
+
+    Returns ``(new_state, expected_result)``, or ``None`` if the op name
+    is unknown.  ``state`` is a sorted tuple of (key, value) pairs so it
+    is hashable for memoization.
+    """
+    d = dict(state)
+    k = op.key
+    kind = op.op
+    if kind == "get":
+        return state, d.get(k)
+    if kind == "put":  # blind write, returns None
+        d[k] = op.arg
+        return tuple(sorted(d.items())), None
+    if kind == "insert":  # returns True when newly inserted; no overwrite
+        if k in d:
+            return state, False
+        d[k] = op.arg
+        return tuple(sorted(d.items())), True
+    if kind == "remove":  # returns True when present
+        if k in d:
+            del d[k]
+            return tuple(sorted(d.items())), True
+        return state, False
+    if kind == "update":  # returns True when present
+        if k in d:
+            d[k] = op.arg
+            return tuple(sorted(d.items())), True
+        return state, False
+    if kind == "add":  # atomic increment, returns the new value
+        new = d.get(k, 0) + (op.arg if op.arg is not None else 1)
+        d[k] = new
+        return tuple(sorted(d.items())), new
+    if kind == "register":  # insert-if-absent, returns the stable index
+        if k in d:
+            return state, d[k]
+        idx = len(d)
+        d[k] = idx
+        return tuple(sorted(d.items())), idx
+    return None
+
+
+@dataclass
+class CheckResult:
+    ok: bool
+    reason: str = ""
+    witness: list[OpRecord] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_linearizable(
+    ops: list[OpRecord], init: dict | None = None
+) -> CheckResult:
+    """Decide whether a history is linearizable against the map oracle.
+
+    Completed operations must all be linearized with matching results.
+    Crashed operations (no response) are optional: each may take effect
+    at any point after its invocation, or never — both futures are
+    explored, mirroring a writer that died before or after its
+    linearization point.
+    """
+    completed = [o for o in ops if not o.crashed]
+    crashed = [o for o in ops if o.crashed]
+    for o in completed:
+        if o.responded < 0:
+            raise ValueError(f"completed op without response timestamp: {o!r}")
+    init_state = tuple(sorted((init or {}).items()))
+    n = len(completed)
+    seen: set[tuple[frozenset, frozenset, tuple]] = set()
+
+    def minimal(remaining: list[OpRecord]) -> list[OpRecord]:
+        """Ops not preceded (in real time) by another remaining op."""
+        if not remaining:
+            return []
+        first_resp = min(o.responded for o in remaining)
+        return [o for o in remaining if o.invoked < first_resp]
+
+    def dfs(done: frozenset, crash_used: frozenset, state: tuple,
+            order: list[OpRecord]) -> list[OpRecord] | None:
+        if len(done) == n:
+            return order
+        key = (done, crash_used, state)
+        if key in seen:
+            return None
+        seen.add(key)
+        remaining = [o for i, o in enumerate(completed) if i not in done]
+        for o in minimal(remaining):
+            res = _apply(state, o)
+            if res is None:
+                raise ValueError(f"unknown op kind {o.op!r}")
+            new_state, expected = res
+            if expected == o.result:
+                i = completed.index(o)
+                got = dfs(done | {i}, crash_used, new_state, order + [o])
+                if got is not None:
+                    return got
+        # A crashed op may take effect here (it never responded, so it is
+        # concurrent with everything after its invocation) — but it cannot
+        # jump ahead of a completed op that responded before it started.
+        for j, c in enumerate(crashed):
+            if j in crash_used:
+                continue
+            if any(p.responded <= c.invoked for p in remaining):
+                continue
+            cres = _apply(state, c)
+            if cres is None:
+                continue
+            c_state, _ = cres
+            got = dfs(done, crash_used | {j}, c_state, order + [c])
+            if got is not None:
+                return got
+        return None
+
+    witness = dfs(frozenset(), frozenset(), init_state, [])
+    if witness is not None:
+        return CheckResult(True, "linearizable", witness)
+    return CheckResult(
+        False,
+        f"no linearization of {n} completed ops "
+        f"({len(crashed)} crashed) matches the sequential oracle",
+    )

@@ -1,0 +1,267 @@
+"""Seeded chaos schedules for the three concurrency protocols.
+
+Each runner builds a tiny concurrent workload over one protocol — the
+GPL seqlock (§III-E), the fast-pointer spin lock, and the ART-OPT
+optimistic lock coupling — drives it under a :class:`ChaosScheduler`
+with a given seed, records the resulting history, and checks it for
+linearizability against the sequential oracle in
+:mod:`repro.chaos.history`.
+
+Every runner also has a ``planted`` mode that swaps one protocol step
+for a classic *lost-update* mutation (skipping the writer serialization,
+checking outside the lock, check-then-act around an insert).  A correct
+harness must keep the un-mutated protocols linearizable on every seed
+and flag the mutants on adversarial seeds — that is the harness's own
+regression test: if the checker cannot see a planted bug, it cannot see
+a real one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro import chaos
+from repro.art.tree import AdaptiveRadixTree
+from repro.chaos.history import CheckResult, HistoryRecorder, OpRecord, check_linearizable
+from repro.chaos.scheduler import ChaosScheduler
+from repro.concurrency.retry import DEFAULT_RETRY, acquire_cooperative
+from repro.concurrency.spinlock import SpinLock
+from repro.core.learned_layer import FULL, GPLModel
+from repro.sim.trace import global_memory
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one seeded schedule: replayable and self-checking."""
+
+    protocol: str
+    seed: int
+    planted: bool
+    fingerprint: str
+    ops: list[OpRecord]
+    check: CheckResult
+    crashed: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.check.ok
+
+    def summary(self) -> str:
+        verdict = "LINEARIZABLE" if self.check.ok else f"VIOLATION ({self.check.reason})"
+        mode = " planted-bug" if self.planted else ""
+        return (
+            f"{self.protocol:<8} seed={self.seed:<4}{mode} "
+            f"fingerprint={self.fingerprint} ops={len(self.ops)} -> {verdict}"
+        )
+
+
+# ----------------------------------------------------------------------
+# GPL seqlock: read-modify-write over one gapped-array slot
+# ----------------------------------------------------------------------
+
+
+def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Two incrementers and a reader over a single seqlocked GPL slot.
+
+    The seqlock makes individual slot reads/writes atomic, but a
+    read-modify-write still needs writer serialization (§III-E assumes
+    slot writers are serialized above the version protocol).  The
+    correct path takes a per-model writer mutex, acquired cooperatively;
+    the planted mutant skips it, so two adders can both read the same
+    snapshot and one increment is lost.
+    """
+    model = GPLModel(
+        first_key=0, slope_eff=1.0, n_slots=4, memory=global_memory(), tag="chaos/gpl"
+    )
+    writer_lock = threading.Lock()
+    rec = HistoryRecorder()
+
+    def read_value() -> int:
+        state, _key, value = model.read_slot(0)
+        return value if state == FULL else 0
+
+    def do_add(task: str) -> None:
+        def add() -> int:
+            if planted:
+                cur = read_value()
+                chaos.point("planted.gpl.rmw")  # lost-update window
+                nxt = cur + 1
+                model.write_slot(0, 0, nxt)
+                return nxt
+            st = DEFAULT_RETRY.begin("gpl.writer_lock")
+            acquire_cooperative(writer_lock, st)
+            try:
+                nxt = read_value() + 1
+                model.write_slot(0, 0, nxt)
+                return nxt
+            finally:
+                writer_lock.release()
+
+        rec.call(task, "add", 0, add, arg=1)
+
+    def adder(task: str, reps: int) -> None:
+        for _ in range(reps):
+            do_add(task)
+
+    def reader(task: str) -> None:
+        for _ in range(2):
+            rec.call(task, "get", 0, lambda: (lambda s, k, v: v if s == FULL else None)(*model.read_slot(0)))
+
+    sched = ChaosScheduler(seed=seed)
+    sched.spawn("adder-a", adder, "adder-a", 2)
+    sched.spawn("adder-b", adder, "adder-b", 2)
+    sched.spawn("reader", reader, "reader")
+    sched.run()
+    return ScheduleReport(
+        protocol="gpl",
+        seed=seed,
+        planted=planted,
+        fingerprint=sched.fingerprint(),
+        ops=rec.ops,
+        check=check_linearizable(rec.ops),
+        crashed=sched.crashed_tasks(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fast-pointer spin lock: deduplicated registration
+# ----------------------------------------------------------------------
+
+
+def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Concurrent registrations into a merge-deduplicated table.
+
+    Mirrors :meth:`repro.core.fast_pointer.FastPointerBuffer.register`:
+    look the target up, append if absent, all under the
+    :class:`repro.concurrency.spinlock.SpinLock`.  The planted mutant
+    hoists the dedup check outside the lock (check-then-act), so two
+    tasks registering the same target can both append and hand out
+    different indices — the merge invariant (one index per target) dies,
+    which the ``register`` oracle catches.
+    """
+    lock = SpinLock()
+    table: dict[int, int] = {}
+    rec = HistoryRecorder()
+
+    def do_register(task: str, key: int) -> None:
+        def register() -> int:
+            if planted:
+                existing = table.get(key)
+                if existing is not None:
+                    return existing
+                chaos.point("planted.fastptr.check")  # dedup raced
+                with lock:
+                    idx = len(table)
+                    table[key] = idx
+                    return idx
+            with lock:
+                existing = table.get(key)
+                if existing is not None:
+                    return existing
+                idx = len(table)
+                table[key] = idx
+                return idx
+
+        rec.call(task, "register", key, register)
+
+    def worker(task: str, keys: list[int]) -> None:
+        for k in keys:
+            do_register(task, k)
+
+    sched = ChaosScheduler(seed=seed)
+    sched.spawn("reg-a", worker, "reg-a", [5, 7])
+    sched.spawn("reg-b", worker, "reg-b", [5, 9])
+    sched.spawn("reg-c", worker, "reg-c", [7, 5])
+    sched.run()
+    return ScheduleReport(
+        protocol="spinlock",
+        seed=seed,
+        planted=planted,
+        fingerprint=sched.fingerprint(),
+        ops=rec.ops,
+        check=check_linearizable(rec.ops),
+        crashed=sched.crashed_tasks(),
+    )
+
+
+# ----------------------------------------------------------------------
+# ART optimistic lock coupling: insert-if-absent races
+# ----------------------------------------------------------------------
+
+
+def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Duelling insert-if-absent plus lookups over the ART-OPT layer.
+
+    ``AdaptiveRadixTree.insert`` decides newly-inserted-or-not inside
+    the OLC write protocol, so two racers inserting the same key get
+    exactly one ``True``.  The planted mutant re-implements it as an
+    unprotected check-then-act (``search`` then ``insert(upsert=True)``)
+    with an interleaving point in the window, letting both racers claim
+    the insert.
+    """
+    tree = AdaptiveRadixTree(tag="chaos/art")
+    tree.insert(100, "seed-100")
+    tree.insert(200, "seed-200")
+    rec = HistoryRecorder()
+
+    def do_insert(task: str, key: int, value: object) -> None:
+        def ins() -> bool:
+            if planted:
+                if tree.search(key) is not None:
+                    return False
+                chaos.point("planted.art.check")  # check-then-act window
+                tree.insert(key, value, upsert=True)
+                return True
+            return tree.insert(key, value)
+
+        rec.call(task, "insert", key, ins, arg=value)
+
+    def inserter(task: str, items: list[tuple[int, object]]) -> None:
+        for k, v in items:
+            do_insert(task, k, v)
+
+    def reader(task: str) -> None:
+        for k in (150, 100):
+            rec.call(task, "get", k, lambda k=k: tree.search(k))
+
+    sched = ChaosScheduler(seed=seed)
+    sched.spawn("ins-a", inserter, "ins-a", [(150, "a"), (300, "a")])
+    sched.spawn("ins-b", inserter, "ins-b", [(150, "b")])
+    sched.spawn("reader", reader, "reader")
+    sched.run()
+    return ScheduleReport(
+        protocol="art",
+        seed=seed,
+        planted=planted,
+        fingerprint=sched.fingerprint(),
+        ops=rec.ops,
+        check=check_linearizable(
+            rec.ops, init={100: "seed-100", 200: "seed-200"}
+        ),
+        crashed=sched.crashed_tasks(),
+    )
+
+
+RUNNERS = {
+    "gpl": run_gpl_schedule,
+    "spinlock": run_spinlock_schedule,
+    "art": run_art_schedule,
+}
+
+
+def find_violating_seed(
+    protocol: str, seeds: range | list[int] = range(64)
+) -> ScheduleReport | None:
+    """Scan seeds until the planted mutant of ``protocol`` misbehaves.
+
+    Returns the first violating report, or ``None`` if no scanned seed
+    produced an adversarial interleaving (the race window was never
+    hit).  Deterministic: the same scan always lands on the same seed.
+    """
+    run = RUNNERS[protocol]
+    for seed in seeds:
+        report = run(seed, planted=True)
+        if not report.ok:
+            return report
+    return None

@@ -1,0 +1,213 @@
+"""Seeded cooperative scheduler over the chaos interleaving points.
+
+Real threads are used, but at most one *task* thread is runnable at any
+moment: every task blocks at each :func:`repro.chaos.point` it reaches
+(and before its first instruction) until the scheduler hands it the
+baton.  Between two points a task runs ordinary deterministic Python, so
+the complete execution is a pure function of ``(tasks, seed, faults)`` —
+any schedule replays exactly from its seed, which is what makes an
+injected-fault failure debuggable.
+
+Two fault kinds ride on the same mechanism:
+
+- **preemption / delay** — the scheduler's RNG simply picks someone else
+  at a point (a "delay" of a task is the schedule choosing around it);
+- **crash-at-point** — :meth:`ChaosScheduler.crash_at` arms a point so
+  that the n-th arrival of a (matching) task raises
+  :class:`InjectedCrash` *inside the protocol*, modelling a thread dying
+  mid-operation.  The task's remaining code never runs: a writer crashed
+  between ``write_begin`` and ``write_end`` leaves the slot version odd,
+  exactly the stuck-writer state the detectors must handle.
+
+Deadlock rule for instrumented code: a chaos point must never be placed
+where the calling thread holds a *blocking* native lock that another
+task might block on non-cooperatively.  All locks in the instrumented
+protocols either are held only across point-free straight-line code
+(the CAS-emulation mutexes) or acquire cooperatively via bounded spins
+that themselves contain points (:class:`repro.concurrency.spinlock.SpinLock`,
+the ART's pessimistic fallback lock).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from typing import Callable
+
+from repro.sim.trace import active_tracer
+
+
+class InjectedCrash(Exception):
+    """Raised inside a task to simulate the thread dying at a point."""
+
+    def __init__(self, point: str, task: str):
+        super().__init__(f"injected crash of task {task!r} at point {point!r}")
+        self.point = point
+        self.task = task
+
+
+class _CrashRule:
+    __slots__ = ("point", "task", "hit", "fired")
+
+    def __init__(self, point: str, task: str | None, hit: int):
+        self.point = point
+        self.task = task  # None = any task
+        self.hit = hit  # 1-based arrival count at which to fire
+        self.fired = False
+
+
+class ChaosTask:
+    """One schedulable unit of work (runs on its own thread)."""
+
+    __slots__ = (
+        "name", "fn", "go", "done", "crashed", "result", "error", "thread",
+    )
+
+    def __init__(self, name: str, fn: Callable[[], object]):
+        self.name = name
+        self.fn = fn
+        self.go = threading.Semaphore(0)
+        self.done = False
+        self.crashed = False
+        self.result: object = None
+        self.error: BaseException | None = None
+        self.thread: threading.Thread | None = None
+
+
+class ChaosScheduler:
+    """Deterministic schedule-exploration driver.
+
+    Usage::
+
+        sched = ChaosScheduler(seed=42)
+        sched.spawn("writer", lambda: model.write_slot(3, k, v))
+        sched.spawn("reader", lambda: model.read_slot(3))
+        sched.crash_at("slot.write_latched", task="writer")
+        sched.run()
+        sched.log          # [(step, task, point), ...] — the schedule
+        sched.fingerprint()  # stable hash of the schedule, for replay checks
+
+    ``run()`` installs the scheduler globally (making ``chaos.point``
+    live), steps tasks until all are done, then uninstalls.  Task
+    exceptions other than :class:`InjectedCrash` are re-raised from
+    ``run()``; injected crashes mark the task ``crashed`` and the
+    schedule continues — that *is* the experiment.
+    """
+
+    def __init__(self, seed: int = 0, *, max_steps: int = 100_000):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.max_steps = max_steps
+        #: Chronological firing log: ``(step, task_name, point_name)``.
+        self.log: list[tuple[int, str, str]] = []
+        self.tasks: list[ChaosTask] = []
+        self._by_ident: dict[int, ChaosTask] = {}
+        self._ready = threading.Semaphore(0)
+        self._crash_rules: list[_CrashRule] = []
+        self._hits: dict[tuple[str, str], int] = {}
+        self._ran = False
+
+    # -- configuration ---------------------------------------------------
+    def spawn(self, name: str, fn: Callable[[], object], *args, **kwargs) -> ChaosTask:
+        """Register a task; it starts paused and runs only when scheduled."""
+        if self._ran:
+            raise RuntimeError("scheduler already ran; create a fresh one")
+        if args or kwargs:
+            base = fn
+            fn = lambda: base(*args, **kwargs)  # noqa: E731
+        task = ChaosTask(name, fn)
+        self.tasks.append(task)
+        return task
+
+    def crash_at(self, point: str, *, task: str | None = None, hit: int = 1) -> None:
+        """Arm a crash: the ``hit``-th arrival of ``task`` (or anyone) at
+        ``point`` raises :class:`InjectedCrash` there."""
+        self._crash_rules.append(_CrashRule(point, task, hit))
+
+    # -- execution -------------------------------------------------------
+    def run(self) -> None:
+        """Step all tasks to completion under the seeded schedule."""
+        from repro import chaos
+
+        if self._ran:
+            raise RuntimeError("scheduler already ran; create a fresh one")
+        self._ran = True
+        chaos._install(self)
+        try:
+            for task in self.tasks:
+                t = threading.Thread(target=self._body, args=(task,), daemon=True)
+                task.thread = t
+                t.start()
+            steps = 0
+            while True:
+                live = [t for t in self.tasks if not t.done]
+                if not live:
+                    break
+                steps += 1
+                if steps > self.max_steps:
+                    raise RuntimeError(
+                        f"chaos schedule exceeded {self.max_steps} steps "
+                        f"(seed={self.seed}): livelock in the scheduled tasks?"
+                    )
+                nxt = live[0] if len(live) == 1 else self.rng.choice(live)
+                nxt.go.release()
+                self._ready.acquire()
+            for task in self.tasks:
+                assert task.thread is not None
+                task.thread.join()
+        finally:
+            chaos._uninstall(self)
+        for task in self.tasks:
+            if task.error is not None:
+                raise task.error
+
+    def _body(self, task: ChaosTask) -> None:
+        self._by_ident[threading.get_ident()] = task
+        task.go.acquire()  # wait to be scheduled the first time
+        try:
+            task.result = task.fn()
+        except InjectedCrash:
+            task.crashed = True
+        except BaseException as exc:  # surfaced from run()
+            task.error = exc
+        finally:
+            self._by_ident.pop(threading.get_ident(), None)
+            task.done = True
+            self._ready.release()
+
+    def on_point(self, point: str) -> None:
+        """Called from task threads via :func:`repro.chaos.point`."""
+        task = self._by_ident.get(threading.get_ident())
+        if task is None:
+            return  # not one of ours (e.g. a background pytest thread)
+        self.log.append((len(self.log), task.name, point))
+        key = (task.name, point)
+        count = self._hits.get(key, 0) + 1
+        self._hits[key] = count
+        for rule in self._crash_rules:
+            if rule.fired or rule.point != point:
+                continue
+            if rule.task is not None and rule.task != task.name:
+                continue
+            if count == rule.hit:
+                rule.fired = True
+                active_tracer().injected_faults += 1
+                raise InjectedCrash(point, task.name)
+        # Hand the baton back; block until scheduled again.
+        self._ready.release()
+        task.go.acquire()
+
+    # -- introspection ---------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex digest of the complete firing sequence."""
+        h = hashlib.sha256()
+        for step, task, point in self.log:
+            h.update(f"{step}:{task}:{point};".encode())
+        return h.hexdigest()[:16]
+
+    def crashed_tasks(self) -> list[str]:
+        return [t.name for t in self.tasks if t.crashed]
+
+    def results(self) -> dict[str, object]:
+        return {t.name: t.result for t in self.tasks}

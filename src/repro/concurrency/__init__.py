@@ -14,6 +14,12 @@ performance simulator sees contention.
 """
 
 from repro.concurrency.epoch import EpochManager
+from repro.concurrency.retry import (
+    DEFAULT_RETRY,
+    BoundedRetry,
+    RetryBudgetExceeded,
+    StuckWriterError,
+)
 from repro.concurrency.spinlock import SpinLock
 from repro.concurrency.version_lock import (
     OptimisticLock,
@@ -22,9 +28,13 @@ from repro.concurrency.version_lock import (
 )
 
 __all__ = [
+    "BoundedRetry",
+    "DEFAULT_RETRY",
     "EpochManager",
     "OptimisticLock",
     "RestartException",
+    "RetryBudgetExceeded",
     "SlotVersion",
     "SpinLock",
+    "StuckWriterError",
 ]

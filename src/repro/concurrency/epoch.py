@@ -16,6 +16,8 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
+from repro import chaos
+
 
 class EpochGuard:
     """RAII participation of one thread in the current epoch."""
@@ -55,6 +57,7 @@ class EpochManager:
 
     def enter(self) -> EpochGuard:
         """Pin the calling thread to the current epoch."""
+        chaos.point("epoch.enter")
         tid = threading.get_ident()
         with self._lock:
             self._active[tid] = self._epoch
@@ -66,6 +69,7 @@ class EpochManager:
 
     def retire(self, free: Callable[[], None]) -> None:
         """Schedule ``free()`` to run once no reader can observe the object."""
+        chaos.point("epoch.retire")
         with self._lock:
             self._limbo[self._epoch % 3].append(free)
 
@@ -75,6 +79,7 @@ class EpochManager:
         Returns True if the epoch advanced (and the oldest limbo list was
         reclaimed).
         """
+        chaos.point("epoch.advance")
         with self._lock:
             if any(e < self._epoch for e in self._active.values()):
                 return False

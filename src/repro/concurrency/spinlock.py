@@ -3,12 +3,25 @@
 New fast pointers are appended to the buffer under a spin lock; the lock
 records its acquisitions and contention events so the simulator can price
 them, and exposes counters the fast-pointer experiments report.
+
+The contended path is a *bounded* spin through
+:class:`repro.concurrency.retry.BoundedRetry`: early attempts yield the
+GIL (``time.sleep(0)``) so a spinner can never starve the holder, later
+attempts back off exponentially, and past
+:attr:`~repro.concurrency.retry.BoundedRetry.fallback_after` attempts the
+spinner degrades to a blocking (pessimistic) acquire — counted in
+:attr:`repro.sim.trace.CostTrace.fallbacks`.  Every spin is also a chaos
+interleaving point, which keeps the lock cooperative under a
+:class:`repro.chaos.ChaosScheduler` (a chaos task never blocks natively
+while other tasks hold the baton).
 """
 
 from __future__ import annotations
 
 import threading
 
+from repro import chaos
+from repro.concurrency.retry import DEFAULT_RETRY, BoundedRetry
 from repro.sim.trace import active_tracer
 
 
@@ -21,24 +34,37 @@ class SpinLock:
             buffer.append(ptr)
     """
 
-    __slots__ = ("_lock", "acquisitions", "contentions")
+    __slots__ = ("_lock", "_retry", "acquisitions", "contentions")
 
-    def __init__(self) -> None:
+    def __init__(self, retry: BoundedRetry | None = None) -> None:
         self._lock = threading.Lock()
+        self._retry = retry or DEFAULT_RETRY
         self.acquisitions = 0
         self.contentions = 0
 
     def acquire(self) -> None:
         t = active_tracer()
-        if hasattr(t, "atomic_rmw"):
-            t.atomic_rmw += 1
+        t.atomic_rmw += 1
+        chaos.point("spin.acquire")
         # Fast path: uncontended test-and-set.
-        if not self._lock.acquire(blocking=False):
-            self.contentions += 1
-            if hasattr(t, "retries"):
-                t.retries += 1
-            self._lock.acquire()
-        self.acquisitions += 1
+        if self._lock.acquire(blocking=False):
+            self.acquisitions += 1
+            return
+        self.contentions += 1
+        state = self._retry.begin("spin.acquire")
+        while True:
+            state.step()  # yields the GIL, then backs off; chaos point inside
+            if self._lock.acquire(blocking=False):
+                self.acquisitions += 1
+                return
+            if state.should_fallback and not chaos.is_active():
+                # Pessimistic fallback: park on the native lock instead of
+                # burning cycles.  (Under chaos the schedule provides
+                # fairness and a native block would stall the baton.)
+                state.count_fallback()
+                self._lock.acquire()
+                self.acquisitions += 1
+                return
 
     def release(self) -> None:
         self._lock.release()

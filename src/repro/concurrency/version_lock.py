@@ -16,12 +16,23 @@ CPython's GIL does not make ``x += 1`` atomic (it compiles to separate
 load/add/store bytecodes), so compare-and-swap is emulated with a private
 mutex held only for the transition itself; the spinning/retry *protocol*
 is faithful and is exercised by real threads in the test suite.
+
+Every spin is bounded: loops run through a
+:class:`repro.concurrency.retry.BoundedRetry` policy that yields the GIL,
+backs off, and — when a slot stays latched past the budget, the signature
+of a writer that died mid-latch — raises
+:class:`repro.concurrency.retry.StuckWriterError` so callers can recover
+(:meth:`SlotVersionArray.force_recover`) instead of hanging.  Named chaos
+points (:func:`repro.chaos.point`) mark the protocol transitions for
+deterministic schedule exploration.
 """
 
 from __future__ import annotations
 
 import threading
 
+from repro import chaos
+from repro.concurrency.retry import DEFAULT_RETRY, BoundedRetry
 from repro.sim.trace import active_tracer
 
 
@@ -32,25 +43,28 @@ class RestartException(Exception):
 class SlotVersion:
     """A single seqlock-style slot version (§III-E write-write protocol)."""
 
-    __slots__ = ("_value", "_cas")
+    __slots__ = ("_value", "_cas", "_retry")
 
-    def __init__(self) -> None:
+    def __init__(self, retry: BoundedRetry | None = None) -> None:
         self._value = 0
         self._cas = threading.Lock()
+        self._retry = retry or DEFAULT_RETRY
 
     @property
     def value(self) -> int:
         return self._value
 
     def read_begin(self) -> int:
-        """Snapshot the version, spinning while a writer is active (odd)."""
+        """Snapshot the version, spinning (bounded) while a writer is odd."""
+        v = self._value
+        if v % 2 == 0:
+            return v
+        state = self._retry.begin("slot.read_begin")
         while True:
+            state.step(stuck=True)
             v = self._value
             if v % 2 == 0:
                 return v
-            t = active_tracer()
-            if hasattr(t, "retries"):
-                t.retries += 1
 
     def read_validate(self, version: int) -> bool:
         """True if no writer intervened since :meth:`read_begin`."""
@@ -58,24 +72,44 @@ class SlotVersion:
 
     def write_begin(self) -> None:
         """Acquire: spin until even, then flip odd (emulated CAS)."""
-        tr = active_tracer()
-        if hasattr(tr, "atomic_rmw"):
-            tr.atomic_rmw += 1
+        active_tracer().atomic_rmw += 1
+        chaos.point("slot.write_cas")
+        state = None
         while True:
+            latched = False
             with self._cas:
                 if self._value % 2 == 0:
                     self._value += 1
-                    return
-            t = active_tracer()
-            if hasattr(t, "retries"):
-                t.retries += 1
+                    latched = True
+            if latched:
+                # Point deliberately outside the CAS mutex: a crash here
+                # models a writer dying with the latch held (odd version).
+                chaos.point("slot.write_latched")
+                return
+            if state is None:
+                state = self._retry.begin("slot.write_begin")
+            state.step(stuck=True)
 
     def write_end(self) -> None:
         """Release: bump back to even, publishing the write."""
+        chaos.point("slot.write_publish")
         with self._cas:
             if self._value % 2 == 0:
                 raise RuntimeError("write_end without matching write_begin")
             self._value += 1
+
+    def force_recover(self) -> bool:
+        """Break a dead writer's latch: bump an odd version to even.
+
+        Returns True if the version was odd (a latch was broken).  Only
+        call after a stuck-writer diagnosis — breaking a *live* writer's
+        latch publishes its half-done write.
+        """
+        with self._cas:
+            if self._value % 2 == 0:
+                return False
+            self._value += 1
+            return True
 
 
 class SlotVersionArray:
@@ -86,48 +120,80 @@ class SlotVersionArray:
     (spin-while-odd, publish-on-even) are identical to per-slot CAS.
     """
 
-    __slots__ = ("_versions", "_cas")
+    __slots__ = ("_versions", "_cas", "_retry")
 
-    def __init__(self, n_slots: int):
+    def __init__(self, n_slots: int, retry: BoundedRetry | None = None):
         if n_slots < 0:
             raise ValueError("n_slots must be non-negative")
         self._versions = [0] * n_slots
         self._cas = threading.Lock()
+        self._retry = retry or DEFAULT_RETRY
 
     def __len__(self) -> int:
         return len(self._versions)
 
     def read_begin(self, slot: int) -> int:
         versions = self._versions
+        v = versions[slot]
+        if v % 2 == 0:
+            return v
+        state = self._retry.begin("slot.read_begin")
         while True:
+            state.step(slot=slot, stuck=True)
             v = versions[slot]
             if v % 2 == 0:
                 return v
-            t = active_tracer()
-            if hasattr(t, "retries"):
-                t.retries += 1
 
     def read_validate(self, slot: int, version: int) -> bool:
         return self._versions[slot] == version
 
     def write_begin(self, slot: int) -> None:
-        t = active_tracer()
-        if hasattr(t, "atomic_rmw"):
-            t.atomic_rmw += 1
+        active_tracer().atomic_rmw += 1
+        chaos.point("slot.write_cas")
+        state = None
         while True:
+            latched = False
             with self._cas:
                 if self._versions[slot] % 2 == 0:
                     self._versions[slot] += 1
-                    return
-            t = active_tracer()
-            if hasattr(t, "retries"):
-                t.retries += 1
+                    latched = True
+            if latched:
+                # Point deliberately outside the CAS mutex: a crash here
+                # models a writer dying with the latch held (odd version).
+                chaos.point("slot.write_latched")
+                return
+            if state is None:
+                state = self._retry.begin("slot.write_begin")
+            state.step(slot=slot, stuck=True)
 
     def write_end(self, slot: int) -> None:
+        chaos.point("slot.write_publish")
         with self._cas:
             if self._versions[slot] % 2 == 0:
                 raise RuntimeError(f"write_end on idle slot {slot}")
             self._versions[slot] += 1
+
+    def force_recover(self, slot: int) -> bool:
+        """Break a dead writer's latch on ``slot`` (odd → even).
+
+        Returns True if a latch was actually broken.  Part of the
+        stuck-writer recovery path; see
+        :meth:`repro.core.learned_layer.GPLModel.recover_slot`.
+        """
+        with self._cas:
+            if self._versions[slot] % 2 == 0:
+                return False
+            self._versions[slot] += 1
+            return True
+
+    def odd_slots(self) -> list[int]:
+        """Slots currently latched (odd version) — stuck-writer suspects.
+
+        A live writer also shows up here briefly; the *detector* meaning
+        comes from sampling while no writer should be active, or from a
+        reader's :class:`repro.concurrency.retry.StuckWriterError`.
+        """
+        return [i for i, v in enumerate(self._versions) if v % 2 == 1]
 
     def grow(self, n_slots: int) -> None:
         """Extend the array to cover ``n_slots`` total slots."""
@@ -146,6 +212,10 @@ class OptimisticLock:
     version, do their work, and revalidate; any intervening writer bumps
     the version and forces a :class:`RestartException`.  Writers lock by
     setting the low bit via emulated CAS.
+
+    Restart bounding lives one level up: the ART's public operations run
+    their restart loops through :class:`repro.concurrency.retry.BoundedRetry`
+    (this lock only ever *signals* a restart, it never spins).
     """
 
     __slots__ = ("_word", "_cas")
@@ -159,9 +229,7 @@ class OptimisticLock:
         """Snapshot a stable (unlocked, live) version or restart."""
         word = self._word
         if word & _LOCKED:
-            t = active_tracer()
-            if hasattr(t, "retries"):
-                t.retries += 1
+            active_tracer().retries += 1
             raise RestartException
         if word & _OBSOLETE:
             raise RestartException
@@ -170,9 +238,7 @@ class OptimisticLock:
     def read_unlock_or_restart(self, version: int) -> None:
         """Validate that the node did not change since the snapshot."""
         if self._word != version:
-            t = active_tracer()
-            if hasattr(t, "retries"):
-                t.retries += 1
+            active_tracer().retries += 1
             raise RestartException
 
     check_or_restart = read_unlock_or_restart
@@ -180,13 +246,13 @@ class OptimisticLock:
     # -- writer side -------------------------------------------------------
     def upgrade_to_write_lock_or_restart(self, version: int) -> None:
         """Atomically move from a validated read to a write lock."""
-        t = active_tracer()
-        if hasattr(t, "atomic_rmw"):
-            t.atomic_rmw += 1
+        active_tracer().atomic_rmw += 1
+        chaos.point("olc.upgrade")
         with self._cas:
             if self._word != version:
                 raise RestartException
             self._word |= _LOCKED
+        chaos.point("olc.write_locked")
 
     def write_lock_or_restart(self) -> None:
         version = self.read_lock_or_restart()
@@ -194,6 +260,7 @@ class OptimisticLock:
 
     def write_unlock(self) -> None:
         """Release the write lock, bumping the version."""
+        chaos.point("olc.write_unlock")
         with self._cas:
             if not self._word & _LOCKED:
                 raise RuntimeError("write_unlock without write lock")
@@ -201,6 +268,7 @@ class OptimisticLock:
 
     def write_unlock_obsolete(self) -> None:
         """Release and mark the node dead (it was replaced/merged away)."""
+        chaos.point("olc.write_unlock")
         with self._cas:
             if not self._word & _LOCKED:
                 raise RuntimeError("write_unlock_obsolete without write lock")

@@ -30,8 +30,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import chaos
 from repro.art.tree import AdaptiveRadixTree
 from repro.common import BatchIndex, OrderedIndex, as_value_array, unique_tag
+from repro.concurrency.retry import StuckWriterError
 from repro.core.analysis import suggest_error_bound
 from repro.core.fast_pointer import FastPointerBuffer
 from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, LearnedLayer
@@ -75,6 +77,7 @@ class ALTIndex(OrderedIndex):
         self.conflict_inserts = 0
         self.writebacks = 0
         self.expansions = 0
+        self.recoveries = 0  # stuck-writer latches broken + repatriated
 
     # ------------------------------------------------------------------
     # construction
@@ -156,6 +159,28 @@ class ALTIndex(OrderedIndex):
         """First insert into an empty index: seed a minimal GPL model."""
         self._layer.append_overflow_model(key, 1.0, 64)
 
+    # -- stuck-writer recovery (crash-induced odd versions) --------------
+    def _recover_stuck_slot(self, model, slot: int) -> None:
+        """A reader timed out on a latched slot: the writer died mid-write.
+
+        Break the latch, tombstone the (possibly torn) slot, and
+        repatriate whatever pair was salvageable into the ART-OPT layer
+        — the write-back path migrates it home on a later lookup.
+        """
+        chaos.point("alt.recover")
+        pair = model.recover_slot(slot)
+        self.recoveries += 1
+        if pair is not None:
+            self._art.insert(pair[0], pair[1], upsert=True)
+
+    def _read_slot_recovering(self, model, slot: int):
+        """``model.read_slot`` with stuck-writer detection and recovery."""
+        try:
+            return model.read_slot(slot)
+        except StuckWriterError:
+            self._recover_stuck_slot(model, slot)
+            return model.read_slot(slot)
+
     # ------------------------------------------------------------------
     # Algorithm 2: Search
     # ------------------------------------------------------------------
@@ -164,7 +189,7 @@ class ALTIndex(OrderedIndex):
         if model is None:
             return self._art.search(key)
         slot = model.slot_of(key)
-        state, resident, value = model.read_slot(slot)
+        state, resident, value = self._read_slot_recovering(model, slot)
         if state == FULL and resident == key:
             return value
         exp = model.expansion
@@ -181,6 +206,7 @@ class ALTIndex(OrderedIndex):
         ):
             # Write-back: Algorithm 2 lines 10-13 — repatriate the key
             # from ART into its (now free) predicted slot.
+            chaos.point("alt.writeback")
             model.write_slot(slot, key, value)
             self._art.remove(key)
             self.writebacks += 1
@@ -321,7 +347,7 @@ class ALTIndex(OrderedIndex):
                 return new
 
         slot = model.slot_of(key)
-        state, resident, _ = model.read_slot(slot)
+        state, resident, _ = self._read_slot_recovering(model, slot)
         if state == FULL:
             if resident == key:
                 model.write_slot(slot, key, value)  # in-place upsert
@@ -354,7 +380,7 @@ class ALTIndex(OrderedIndex):
         if model is None:
             return False
         slot = model.slot_of(key)
-        state, resident, _ = model.read_slot(slot)
+        state, resident, _ = self._read_slot_recovering(model, slot)
         if state == FULL and resident == key:
             model.write_slot(slot, key, value)
             return True
@@ -375,7 +401,7 @@ class ALTIndex(OrderedIndex):
                 self._bump(-1)
             return removed
         slot = model.slot_of(key)
-        state, resident, _ = model.read_slot(slot)
+        state, resident, _ = self._read_slot_recovering(model, slot)
         removed = False
         if state == FULL and resident == key:
             model.clear_slot(slot, tombstone=True)
@@ -396,7 +422,7 @@ class ALTIndex(OrderedIndex):
         share of the range, so fetch in small batches."""
         cursor = lo
         chunk = max(8, count // 8)
-        while True:
+        while True:  # bounded: cursor advances; short batch ends the scan
             batch = self._art.scan(cursor, chunk)
             yield from batch
             if len(batch) < chunk:
@@ -477,6 +503,7 @@ class ALTIndex(OrderedIndex):
             "conflict_inserts": self.conflict_inserts,
             "writebacks": self.writebacks,
             "expansions": self.expansions,
+            "recoveries": self.recoveries,
             "memory_bytes": self.memory_bytes(),
         }
         if self._fastptr is not None:

@@ -24,6 +24,7 @@ Appends take a spin lock (§III-E); entry reads are lock-free.
 
 from __future__ import annotations
 
+from repro import chaos
 from repro.art.nodes import Leaf, Node
 from repro.art.tree import AdaptiveRadixTree
 from repro.concurrency.spinlock import SpinLock
@@ -77,7 +78,12 @@ class FastPointerBuffer:
         node = self._art.common_ancestor(first_key, next_first_key)
         if node is None or isinstance(node, Leaf):
             return -1
+        chaos.point("fastptr.register")
         with self._lock:
+            # Safe to interleave here: SpinLock acquisition is cooperative
+            # (bounded try-acquire with chaos points), so a paused holder
+            # never deadlocks the schedule.
+            chaos.point("fastptr.locked")
             self.raw_count += 1
             if self._merge:
                 existing = self._node_index.get(id(node))
@@ -114,6 +120,7 @@ class FastPointerBuffer:
 
     # -- invalidation repair (§III-C3) -------------------------------------------
     def _on_replace(self, old, new) -> None:
+        chaos.point("fastptr.repair")
         idx = self._node_index.pop(id(old), None)
         if idx is None:
             return

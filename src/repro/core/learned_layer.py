@@ -32,6 +32,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import chaos
+from repro.concurrency.retry import DEFAULT_RETRY
 from repro.concurrency.version_lock import SlotVersionArray
 from repro.core.errors import KeysNotSortedError
 from repro.core.gpl import Segment, gpl_partition
@@ -162,18 +164,26 @@ class GPLModel:
 
     # -- slot access (§III-E seqlock protocol) ------------------------------
     def read_slot(self, slot: int) -> tuple[int, int | None, object]:
-        """Optimistically read a slot; returns (state, key, value)."""
+        """Optimistically read a slot; returns (state, key, value).
+
+        The validate-retry loop is bounded; a slot held latched past the
+        budget (a writer that died mid-latch) raises
+        :class:`repro.concurrency.retry.StuckWriterError` from
+        ``read_begin`` — see :meth:`recover_slot`.
+        """
         self._trace_read(slot)
+        state = None
         while True:
             v = self.versions.read_begin(slot)
+            chaos.point("gpl.read_fields")
             occ = self.occupied[slot]
             key = self.keys[slot]
             value = self.values[slot]
             if self.versions.read_validate(slot, v):
                 break
-            t = current_tracer()
-            if t is not None:
-                t.retries += 1
+            if state is None:
+                state = DEFAULT_RETRY.begin("gpl.read_slot")
+            state.step(slot=slot)
         if not occ:
             return EMPTY, None, None
         if key is None:
@@ -182,8 +192,10 @@ class GPLModel:
 
     def write_slot(self, slot: int, key: int | None, value) -> None:
         """Latch the slot version odd, publish, flip even."""
+        chaos.point("gpl.slot_cas")
         self.versions.write_begin(slot)
         self.keys[slot] = key
+        chaos.point("gpl.slot_fields")  # mid-write: key visible, value stale
         self.values[slot] = value
         self.occupied[slot] = True
         self.np_keys[slot] = key
@@ -194,8 +206,10 @@ class GPLModel:
 
     def clear_slot(self, slot: int, tombstone: bool = True) -> None:
         """Remove a slot's payload, leaving a tombstone by default."""
+        chaos.point("gpl.slot_cas")
         self.versions.write_begin(slot)
         self.keys[slot] = None
+        chaos.point("gpl.slot_fields")
         self.values[slot] = None
         self.occupied[slot] = tombstone
         self.np_keys[slot] = 0
@@ -203,6 +217,30 @@ class GPLModel:
         self.mutations += 1
         self.versions.write_end(slot)
         self._trace_write(slot)
+
+    def recover_slot(self, slot: int) -> tuple[int, object] | None:
+        """Recover a slot whose writer died holding the latch (§III-E).
+
+        Breaks the odd-version latch, salvages whatever pair the slot
+        holds, then tombstones it: the fields may be *torn* (the writer
+        died between field writes), so the learned layer must never
+        serve them directly.  The salvaged pair — if any — is returned
+        for repatriation into the ART-OPT conflict layer, where an
+        upsert is idempotent; a later lookup write-back (Algorithm 2
+        lines 10-13) migrates it home again.
+
+        Returns the salvaged ``(key, value)`` or ``None``.  No-op
+        (returns ``None``) when the slot is not actually latched.
+        """
+        if not self.versions.force_recover(slot):
+            return None
+        key = self.keys[slot]
+        value = self.values[slot]
+        occ = self.occupied[slot]
+        self.clear_slot(slot, tombstone=True)
+        if occ and key is not None:
+            return key, value
+        return None
 
     # -- bulk loading -------------------------------------------------------
     def place_bulk(self, keys: np.ndarray, values) -> list[tuple[int, object]]:

@@ -48,6 +48,12 @@ class CostModel:
     # costs an un-pipelined L2/L3-class latency on top of the line costs
     # — the reason learned-index predictions beat pointer chasing.
     node_visit_ns: float = 40.0
+    # A pessimistic fallback (BoundedRetry giving up on optimism) is a
+    # contended mutex hand-off: roughly a futex wake plus the coherence
+    # traffic of the lock word — far more than one atomic, far less than
+    # a syscall-heavy sleep.  Charging it here lets the simulator price
+    # contention collapse: a workload that keeps falling back pays for it.
+    fallback_ns: float = 250.0
     retry_fraction: float = 0.5
     dram_bandwidth_bytes_per_s: float = 100e9
     # Hot-line budget per virtual thread.  Sized relative to the scaled
@@ -68,6 +74,7 @@ class CostModel:
             + trace.slots_shifted * self.slot_shift_ns
             + trace.secondary_steps * self.secondary_step_ns
             + trace.nodes_visited * self.node_visit_ns
+            + trace.fallbacks * self.fallback_ns
         )
 
     def miss_bytes(self, n_misses: int) -> int:

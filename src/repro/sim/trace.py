@@ -140,6 +140,8 @@ class CostTrace:
     nodes_visited: int = 0
     secondary_steps: int = 0
     retries: int = 0
+    fallbacks: int = 0
+    injected_faults: int = 0
     reads: list[int] = field(default_factory=list)
     writes: list[int] = field(default_factory=list)
     background_split: tuple[int, int] | None = None
@@ -199,6 +201,8 @@ class CostTrace:
         "nodes_visited",
         "secondary_steps",
         "retries",
+        "fallbacks",
+        "injected_faults",
     )
 
     def scalars(self) -> dict[str, int]:
@@ -220,9 +224,18 @@ class _NullTrace:
     never needs an ``if tracer is not None`` guard around multi-call
     sequences — but :func:`current_tracer` returns ``None`` when off, so
     single-call sites can skip work entirely.
+
+    The scalar counters are real writable attributes: protocol code does
+    ``active_tracer().retries += 1`` unconditionally, so retries are
+    counted whenever a :class:`CostTrace` is active and silently absorbed
+    here when one is not.  The accumulated values are never read.
     """
 
-    __slots__ = ()
+    __slots__ = CostTrace._SCALAR_FIELDS
+
+    def __init__(self) -> None:
+        for name in CostTrace._SCALAR_FIELDS:
+            setattr(self, name, 0)
 
     def read_line(self, line: int) -> None:
         pass

@@ -1,0 +1,117 @@
+"""Static spin-loop checker: no unbounded ``while True`` retry loops.
+
+The concurrency protocols must never spin without a budget — an
+optimistic retry loop that can run forever livelocks under contention
+and hides stuck-writer crashes (ISSUE 2).  This checker walks the AST of
+the protocol files and flags every ``while True`` / ``while 1`` loop
+that is not visibly bounded, where *bounded* means one of:
+
+- the loop body calls ``<RetryState>.step(...)`` — every pass through
+  the loop charges the shared :class:`repro.concurrency.retry.BoundedRetry`
+  budget, which yields, backs off, and eventually raises
+  :class:`repro.concurrency.retry.RetryBudgetExceeded`; or
+- the ``while`` line carries a ``# bounded: <why>`` comment giving an
+  explicit termination argument (used by structurally-terminating loops
+  such as ART descents, which advance at least one key byte per
+  iteration and never retry in place).
+
+A new unannotated spin loop therefore fails tier-1 (via
+``tests/test_spins.py``) until it is routed through ``BoundedRetry`` or
+justified.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.check_spins [files...]
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: Protocol files where unbounded spinning would livelock (relative to repo root).
+DEFAULT_FILES = (
+    "src/repro/concurrency/version_lock.py",
+    "src/repro/concurrency/spinlock.py",
+    "src/repro/concurrency/retry.py",
+    "src/repro/concurrency/epoch.py",
+    "src/repro/core/learned_layer.py",
+    "src/repro/core/fast_pointer.py",
+    "src/repro/core/retrain.py",
+    "src/repro/core/alt_index.py",
+    "src/repro/art/tree.py",
+)
+
+_BOUNDED_COMMENT = re.compile(r"#\s*bounded:\s*\S")
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _calls_step(node: ast.While) -> bool:
+    """Does the loop body (at any depth) call an attribute named ``step``?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "step"
+        ):
+            return True
+    return False
+
+
+def check_source(source: str, filename: str = "<string>") -> list[str]:
+    """Return one failure line per unbounded ``while True`` loop."""
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    failures: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.While) or not _is_while_true(node):
+            continue
+        if _calls_step(node):
+            continue
+        header = lines[node.lineno - 1] if node.lineno - 1 < len(lines) else ""
+        if _BOUNDED_COMMENT.search(header):
+            continue
+        failures.append(
+            f"{filename}:{node.lineno}: unbounded `while True` spin loop — "
+            "route retries through BoundedRetry (a `.step()` call in the "
+            "body) or justify with a `# bounded: <why>` comment"
+        )
+    return failures
+
+
+def check_file(path: Path) -> list[str]:
+    return check_source(path.read_text(), filename=str(path))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(__file__).resolve().parents[3]
+    paths = [Path(a) for a in args] or [root / f for f in DEFAULT_FILES]
+    failures: list[str] = []
+    loops = 0
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file not found")
+            continue
+        source = path.read_text()
+        loops += sum(
+            1
+            for n in ast.walk(ast.parse(source))
+            if isinstance(n, ast.While) and _is_while_true(n)
+        )
+        failures.extend(check_file(path))
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"check_spins: {loops} while-True loops bounded in {len(paths)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""BoundedRetry: budgets, backoff, fallback accounting, no livelock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.concurrency.retry import (
+    BoundedRetry,
+    DEFAULT_RETRY,
+    RetryBudgetExceeded,
+    RetryState,
+    StuckWriterError,
+    acquire_cooperative,
+)
+from repro.concurrency.spinlock import SpinLock
+from repro.concurrency.version_lock import SlotVersionArray
+from repro.sim.cost_model import CostModel
+from repro.sim.trace import CostTrace, tracer
+
+FAST = BoundedRetry(
+    spin_budget=2,
+    max_retries=24,
+    fallback_after=4,
+    backoff_base_s=1e-9,
+    backoff_max_s=1e-8,
+)
+
+
+class TestBoundedRetry:
+    def test_budget_exhaustion_raises(self):
+        state = FAST.begin("test.site")
+        with pytest.raises(RetryBudgetExceeded) as ei:
+            for _ in range(100):
+                state.step()
+        assert ei.value.site == "test.site"
+        assert ei.value.attempts == FAST.max_retries
+
+    def test_stuck_variant_carries_slot(self):
+        state = FAST.begin("slot.read_begin")
+        with pytest.raises(StuckWriterError) as ei:
+            for _ in range(100):
+                state.step(slot=7, stuck=True)
+        assert ei.value.slot == 7
+        assert isinstance(ei.value, RetryBudgetExceeded)
+
+    def test_steps_count_retries_in_trace(self):
+        t = CostTrace()
+        with tracer(t):
+            state = FAST.begin("test.site")
+            for _ in range(5):
+                state.step()
+        assert t.retries == 5
+
+    def test_steps_work_without_tracer(self):
+        state = FAST.begin("test.site")
+        state.step()  # must not raise (null tracer has writable counters)
+        assert state.attempts == 1
+
+    def test_should_fallback_threshold(self):
+        state = FAST.begin("test.site")
+        assert not state.should_fallback
+        for _ in range(FAST.fallback_after):
+            state.step()
+        assert state.should_fallback
+
+    def test_count_fallback_traced_and_priced(self):
+        t = CostTrace()
+        with tracer(t):
+            FAST.begin("test.site").count_fallback()
+        assert t.fallbacks == 1
+        model = CostModel()
+        assert model.compute_ns(t) >= model.fallback_ns
+
+    def test_default_policy_is_shared_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_RETRY.max_retries = 1
+
+    def test_backoff_delay_is_capped(self):
+        policy = BoundedRetry(
+            spin_budget=0, backoff_base_s=1.0, backoff_factor=10.0,
+            backoff_max_s=1e-4, jitter=0.0, max_retries=10,
+        )
+        state = policy.begin("test.site")
+        start = time.monotonic()
+        for _ in range(5):
+            state.step()
+        assert time.monotonic() - start < 0.5  # 5 sleeps, each <= 1e-4 (+slack)
+
+
+class TestAcquireCooperative:
+    def test_acquires_free_lock(self):
+        lock = threading.Lock()
+        acquire_cooperative(lock, FAST.begin("test.site"))
+        assert lock.locked()
+
+    def test_budget_applies_while_contended(self):
+        lock = threading.Lock()
+        lock.acquire()
+        with pytest.raises(RetryBudgetExceeded):
+            acquire_cooperative(lock, FAST.begin("test.site"))
+
+
+class TestSpinLockFallback:
+    def test_contended_acquire_falls_back_pessimistically(self):
+        """A long-held lock drives the spinner into the pessimistic
+        fallback (visible in CostTrace) instead of spinning forever."""
+        lock = SpinLock(retry=FAST)
+        lock.acquire()
+        released = threading.Event()
+
+        def holder():
+            time.sleep(0.02)
+            lock.release()
+            released.set()
+
+        t = CostTrace()
+        threading.Thread(target=holder, daemon=True).start()
+        with tracer(t):
+            lock.acquire()  # parks on the native lock after fallback_after
+        assert released.is_set()
+        assert t.fallbacks == 1
+        assert t.retries >= FAST.fallback_after
+        assert lock.contentions == 1
+        lock.release()
+
+    def test_uncontended_fast_path_counts_rmw(self):
+        t = CostTrace()
+        lock = SpinLock(retry=FAST)
+        with tracer(t):
+            with lock:
+                pass
+        assert t.atomic_rmw == 1
+        assert t.fallbacks == 0
+
+
+class TestSeqlockBudget:
+    def test_reader_times_out_on_latched_slot(self):
+        arr = SlotVersionArray(4, retry=FAST)
+        arr.write_begin(2)  # latch and never release: a dead writer
+        with pytest.raises(StuckWriterError) as ei:
+            arr.read_begin(2)
+        assert ei.value.slot == 2
+
+    def test_writer_times_out_on_latched_slot(self):
+        arr = SlotVersionArray(4, retry=FAST)
+        arr.write_begin(1)
+        with pytest.raises(StuckWriterError):
+            arr.write_begin(1)
+
+
+class TestARTFallback:
+    def test_forced_contention_engages_fallback_not_livelock(self):
+        """Write-lock a node out-of-band; a search must degrade to the
+        pessimistic path, then succeed once the lock is released."""
+        tree = AdaptiveRadixTree(retry=BoundedRetry(
+            spin_budget=1, max_retries=10_000, fallback_after=3,
+            backoff_base_s=1e-9, backoff_max_s=1e-6,
+        ))
+        for k in (10, 20, 30):
+            tree.insert(k, k)
+        root = tree.root
+        root.lock.write_lock_or_restart()
+
+        def release():
+            time.sleep(0.02)
+            root.lock.write_unlock()
+
+        threading.Thread(target=release, daemon=True).start()
+        t = CostTrace()
+        with tracer(t):
+            assert tree.search(20) == 20
+        assert t.fallbacks >= 1  # pessimistic degradation engaged
+        assert t.retries >= 3

@@ -1,0 +1,81 @@
+"""No unbounded spin loops in the concurrency protocols (tier-1 gate).
+
+Runs `python -m repro.tools.check_spins` programmatically, mirroring
+tests/test_docs.py, so a new `while True` retry loop that bypasses
+BoundedRetry fails the suite immediately.
+"""
+
+from pathlib import Path
+
+from repro.tools import check_spins
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_protocol_files_exist():
+    for rel in check_spins.DEFAULT_FILES:
+        assert (REPO / rel).exists(), f"missing protocol file {rel}"
+
+
+def test_no_unbounded_spins_in_repo():
+    assert check_spins.main([]) == 0
+
+
+def test_rejects_unbounded_spin_loop():
+    src = (
+        "def acquire(lock):\n"
+        "    while True:\n"
+        "        if lock.try_acquire():\n"
+        "            return\n"
+    )
+    failures = check_spins.check_source(src, filename="synthetic.py")
+    assert len(failures) == 1
+    assert "synthetic.py:2" in failures[0]
+    assert "BoundedRetry" in failures[0]
+
+
+def test_accepts_loop_routed_through_bounded_retry():
+    src = (
+        "def acquire(lock, state):\n"
+        "    while True:\n"
+        "        if lock.try_acquire():\n"
+        "            return\n"
+        "        state.step()\n"
+    )
+    assert check_spins.check_source(src) == []
+
+
+def test_accepts_justified_structural_loop():
+    src = (
+        "def descend(node):\n"
+        "    while True:  # bounded: descends one byte per iteration\n"
+        "        node = node.child()\n"
+        "        if node is None:\n"
+        "            return\n"
+    )
+    assert check_spins.check_source(src) == []
+
+
+def test_justification_must_be_nonempty():
+    src = (
+        "def spin():\n"
+        "    while True:  # bounded:\n"
+        "        pass\n"
+    )
+    assert len(check_spins.check_source(src)) == 1
+
+
+def test_while_one_is_also_checked():
+    src = "while 1:\n    pass\n"
+    assert len(check_spins.check_source(src)) == 1
+
+
+def test_nested_step_call_counts():
+    src = (
+        "while True:\n"
+        "    try:\n"
+        "        attempt()\n"
+        "    except RestartException:\n"
+        "        state.step()\n"
+    )
+    assert check_spins.check_source(src) == []
