@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.common import OrderedIndex, as_value_array, unique_tag
 from repro.concurrency.version_lock import OptimisticLock, RestartException
+from repro.obs.spans import current_profile
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
 
 _ENTRY_BYTES = 24  # key + value/pointer + type/version byte, padded
@@ -149,6 +150,13 @@ class LippIndex(OrderedIndex):
 
     # -- operations -----------------------------------------------------
     def get(self, key: int):
+        prof = current_profile()
+        if prof is not None:
+            with prof.span("lipp.descend"):
+                return self._get(key)
+        return self._get(key)
+
+    def _get(self, key: int):
         node = self._root
         t = current_tracer()
         while node is not None:
@@ -168,8 +176,12 @@ class LippIndex(OrderedIndex):
         return None
 
     def insert(self, key: int, value) -> bool:
+        prof = current_profile()
         while True:
             try:
+                if prof is not None:
+                    with prof.span("lipp.descend"):
+                        return self._insert(key, value)
                 return self._insert(key, value)
             except RestartException:
                 continue
@@ -237,46 +249,61 @@ class LippIndex(OrderedIndex):
 
     def _maybe_rebuild(self, path: list[_LippNode]) -> None:
         """FMCD readjustment: rebuild the deepest crowded subtree."""
+        prof = current_profile()
         for i in range(len(path) - 1, -1, -1):
             node = path[i]
             if (
                 node.build_size >= _REBUILD_MIN
                 and node.num_inserts > node.build_size
             ):
-                try:
-                    node.lock.write_lock_or_restart()
-                except RestartException:
+                if prof is not None:
+                    with prof.span("lipp.rebuild"):
+                        self._rebuild_at(path, i, node)
                     return
-                try:
-                    pairs = sorted(node.items())
-                    rebuilt = _LippNode(
-                        [k for k, _ in pairs],
-                        [v for _, v in pairs],
-                        self._memory,
-                        self.mem_tag,
-                    )
-                    if i == 0:
-                        old = self._root
-                        self._root = rebuilt
-                        old.span.free()
-                    else:
-                        parent = path[i - 1]
-                        s = parent.predict(pairs[0][0])
-                        if parent.entries[s] is node:
-                            parent.entries[s] = rebuilt
-                            node.span.free()
-                    self.rebuilds += 1
-                    t = current_tracer()
-                    if t is not None:
-                        # Rebuild reads and rewrites the whole subtree.
-                        for j in range(0, len(pairs), 2):
-                            t.reads.append(rebuilt.entry_line((j * 2) % rebuilt.size))
-                            t.writes.append(rebuilt.entry_line((j * 2 + 1) % rebuilt.size))
-                finally:
-                    node.lock.write_unlock()
+                self._rebuild_at(path, i, node)
                 return
 
+    def _rebuild_at(self, path: list[_LippNode], i: int, node: _LippNode) -> None:
+        try:
+            node.lock.write_lock_or_restart()
+        except RestartException:
+            return
+        try:
+            pairs = sorted(node.items())
+            rebuilt = _LippNode(
+                [k for k, _ in pairs],
+                [v for _, v in pairs],
+                self._memory,
+                self.mem_tag,
+            )
+            if i == 0:
+                old = self._root
+                self._root = rebuilt
+                old.span.free()
+            else:
+                parent = path[i - 1]
+                s = parent.predict(pairs[0][0])
+                if parent.entries[s] is node:
+                    parent.entries[s] = rebuilt
+                    node.span.free()
+            self.rebuilds += 1
+            t = current_tracer()
+            if t is not None:
+                # Rebuild reads and rewrites the whole subtree.
+                for j in range(0, len(pairs), 2):
+                    t.reads.append(rebuilt.entry_line((j * 2) % rebuilt.size))
+                    t.writes.append(rebuilt.entry_line((j * 2 + 1) % rebuilt.size))
+        finally:
+            node.lock.write_unlock()
+
     def remove(self, key: int) -> bool:
+        prof = current_profile()
+        if prof is not None:
+            with prof.span("lipp.descend"):
+                return self._remove(key)
+        return self._remove(key)
+
+    def _remove(self, key: int) -> bool:
         node = self._root
         t = current_tracer()
         while node is not None:

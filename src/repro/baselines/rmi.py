@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.spans import current_profile
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
 
 
@@ -115,9 +116,14 @@ class TwoStageRMI:
 
     def predict(self, key: int) -> tuple[int, int]:
         """(predicted position, error bound) for ``key``."""
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("rmi.predict")
         model = self._model_for(key)
         pos = model.predict(float(key))
         pos = min(max(pos, 0), len(self._keys) - 1)
+        if prof is not None:
+            prof.exit()
         return pos, model.max_error
 
     def lookup(self, key: int) -> int:
@@ -134,6 +140,9 @@ class TwoStageRMI:
         hi = min(pos + err + 1, n)
         keys = self._keys
         t = current_tracer()
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("rmi.secondary")
         base = 24 * (self.n_models + 1)
         k64 = np.uint64(key)
         while lo < hi:
@@ -146,6 +155,8 @@ class TwoStageRMI:
                 lo = mid + 1
             else:
                 hi = mid
+        if prof is not None:
+            prof.exit()
         if lo < n and keys[lo] == k64:
             return lo
         return -1
@@ -196,6 +207,9 @@ class TwoStageRMI:
         hi = min(pos + err + 1, n)
         keys = self._keys
         t = current_tracer()
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("rmi.secondary")
         base = 24 * (self.n_models + 1)
         k64 = np.uint64(key)
         # Widen if the prediction bracket missed the true rank
@@ -213,6 +227,8 @@ class TwoStageRMI:
                 lo = mid + 1
             else:
                 hi = mid
+        if prof is not None:
+            prof.exit()
         return lo
 
     def free(self) -> None:

@@ -21,11 +21,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common import OrderedIndex
+from repro.obs.spans import SpanProfile, current_profile, profiled
 from repro.sim.engine import SimConfig, SimResult, simulate
 from repro.sim.metrics import LatencySummary, summarize_latencies
 from repro.sim.trace import CostTrace, tracer
 from repro.workloads.generator import DatasetSplit, Operation, generate_ops, split_dataset
 from repro.workloads.spec import WorkloadSpec
+
+
+#: op kind -> envelope span name (registered in repro.obs.taxonomy)
+_OP_SPAN = {"read": "op.read", "insert": "op.insert", "scan": "op.scan"}
 
 
 @dataclass
@@ -41,6 +46,17 @@ class ExperimentResult:
     latency: LatencySummary
     build_seconds: float
     index_stats: dict = field(default_factory=dict)
+    #: protocol health counters summed over the measured traces
+    #: (``recoveries`` comes from the index's own stats, since stuck-slot
+    #: repair is not a per-op trace scalar).
+    retries: int = 0
+    fallbacks: int = 0
+    recoveries: int = 0
+    #: single-thread modeled cost of the full traced stream (warmup
+    #: included), priced like span buckets — the denominator the span
+    #: attribution sums are checked against.  Computed only when a span
+    #: profile was active for the run.
+    modeled_total_ns: float = 0.0
 
     @property
     def throughput_mops(self) -> float:
@@ -61,21 +77,39 @@ class ExperimentResult:
             "p999_us": round(self.p999_us, 2),
             "hit_rate": round(self.sim.hit_rate, 3),
             "conflicts": self.sim.conflicts,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "recoveries": self.recoveries,
         }
 
 
 def trace_ops(index: OrderedIndex, ops: list[Operation]) -> list[CostTrace]:
-    """Run operations against the index, one cost trace per op."""
+    """Run operations against the index, one cost trace per op.
+
+    Each trace is labeled with the op kind (for timeline export) and,
+    when a span profile is active, the whole op runs inside an
+    ``op.<kind>`` envelope span: every traced event then lands in *some*
+    span, which is what makes per-span totals sum to the trace total.
+    """
     traces: list[CostTrace] = []
     append = traces.append
+    prof = current_profile()
     for op in ops:
+        kind = op.kind
         with tracer() as t:
-            if op.kind == "read":
-                index.get(op.key)
-            elif op.kind == "insert":
-                index.insert(op.key, op.key)
-            else:
-                index.scan(op.key, op.length)
+            if prof is not None:
+                prof.enter(_OP_SPAN[kind])
+            try:
+                if kind == "read":
+                    index.get(op.key)
+                elif kind == "insert":
+                    index.insert(op.key, op.key)
+                else:
+                    index.scan(op.key, op.length)
+            finally:
+                if prof is not None:
+                    prof.exit()
+        t.op_label = kind
         append(t)
     return traces
 
@@ -114,16 +148,24 @@ def trace_ops_batched(
     trace per batch instead of per op).
     """
     traces: list[CostTrace] = []
+    prof = current_profile()
     for kind, group in batch_ops(ops, batch_size):
         with tracer() as t:
-            if kind == "read":
-                index.batch_get(np.array([op.key for op in group], dtype=np.uint64))
-            elif kind == "insert":
-                ks = np.array([op.key for op in group], dtype=np.uint64)
-                index.batch_insert(ks, [op.key for op in group])
-            else:
-                for op in group:  # scans stay per-op: results vary per cursor
-                    index.scan(op.key, op.length)
+            if prof is not None:
+                prof.enter(_OP_SPAN[kind])
+            try:
+                if kind == "read":
+                    index.batch_get(np.array([op.key for op in group], dtype=np.uint64))
+                elif kind == "insert":
+                    ks = np.array([op.key for op in group], dtype=np.uint64)
+                    index.batch_insert(ks, [op.key for op in group])
+                else:
+                    for op in group:  # scans stay per-op: results vary per cursor
+                        index.scan(op.key, op.length)
+            finally:
+                if prof is not None:
+                    prof.exit()
+        t.op_label = kind
         traces.append(t)
     return traces
 
@@ -142,6 +184,8 @@ def run_experiment(
     sim_config: SimConfig | None = None,
     bulk_options: dict | None = None,
     batch_size: int | None = None,
+    profile: SpanProfile | None = None,
+    timeline=None,
 ) -> ExperimentResult:
     """Run one (index, dataset, workload, threads) experiment cell.
 
@@ -153,6 +197,11 @@ def run_experiment(
     API (:class:`repro.common.BatchIndex`): consecutive same-kind ops
     are grouped into batches of that size and each batch is traced as
     one operation.  Aggregate trace totals equal the scalar run's.
+
+    ``profile`` activates layer-attributed span accounting for the trace
+    phase (see :mod:`repro.obs.spans`); ``timeline`` is handed to the
+    simulator to capture the virtual-thread schedule as Chrome trace
+    events (see :mod:`repro.obs.timeline`).
     """
     split = split_dataset(keys, load_frac, seed=seed)
     start = time.perf_counter()
@@ -160,14 +209,25 @@ def run_experiment(
     build_seconds = time.perf_counter() - start
     warmup = int(n_ops * warmup_frac)
     ops = generate_ops(spec, split, n_ops + warmup, theta=theta, seed=seed)
-    if batch_size is not None:
-        warm_traces = trace_ops_batched(index, ops[:warmup], batch_size)
-        traces = warm_traces + trace_ops_batched(index, ops[warmup:], batch_size)
-        sim_warmup = len(warm_traces)
+
+    def _trace() -> tuple[list[CostTrace], int]:
+        if batch_size is not None:
+            warm = trace_ops_batched(index, ops[:warmup], batch_size)
+            return warm + trace_ops_batched(index, ops[warmup:], batch_size), len(warm)
+
+        return trace_ops(index, ops), warmup
+
+    config = sim_config or SimConfig(threads=threads)
+    modeled_total_ns = 0.0
+    if profile is not None:
+        with profiled(profile):
+            traces, sim_warmup = _trace()
+        modeled_total_ns = sum(config.cost_model.sequential_ns(t) for t in traces)
     else:
-        traces = trace_ops(index, ops)
-        sim_warmup = warmup
-    sim = simulate(traces, sim_config or SimConfig(threads=threads), warmup=sim_warmup)
+        traces, sim_warmup = _trace()
+    sim = simulate(traces, config, warmup=sim_warmup, timeline=timeline)
+    measured = traces[sim_warmup:]
+    index_stats = index.stats()
     return ExperimentResult(
         index_name=index_cls.NAME,
         dataset=dataset_name,
@@ -177,7 +237,11 @@ def run_experiment(
         sim=sim,
         latency=summarize_latencies(sim.latencies_ns),
         build_seconds=build_seconds,
-        index_stats=index.stats(),
+        index_stats=index_stats,
+        retries=sum(t.retries for t in measured),
+        fallbacks=sum(t.fallbacks for t in measured),
+        recoveries=int(index_stats.get("recoveries", 0)),
+        modeled_total_ns=modeled_total_ns,
     )
 
 
@@ -243,16 +307,78 @@ def batch_microbenchmark(
     }
 
 
+def run_observed_experiment(
+    index_cls,
+    dataset_name: str,
+    keys: np.ndarray,
+    spec: WorkloadSpec,
+    threads: int = 32,
+    n_ops: int = 20_000,
+    seed: int = 0,
+) -> tuple[ExperimentResult, SpanProfile, "object", dict]:
+    """One fully-observed experiment cell: spans + metrics + timeline.
+
+    Runs :func:`run_experiment` with a span profile, a metrics registry,
+    and a timeline recorder all active, and returns
+    ``(result, profile, timeline, metrics_snapshot)`` — the pieces the
+    ``--emit-metrics`` / ``--emit-timeline`` CLI paths serialize.
+    """
+    from repro.obs.metrics import MetricsRegistry, metrics_registry
+    from repro.obs.timeline import TimelineRecorder
+
+    profile = SpanProfile()
+    recorder = TimelineRecorder()
+    registry = MetricsRegistry()
+    with metrics_registry(registry):
+        result = run_experiment(
+            index_cls,
+            dataset_name,
+            keys,
+            spec,
+            threads=threads,
+            n_ops=n_ops,
+            seed=seed,
+            profile=profile,
+            timeline=recorder,
+        )
+    return result, profile, recorder, registry.snapshot()
+
+
+def metrics_document(
+    result: ExperimentResult, profile: SpanProfile, metrics_snapshot: dict, cost_model
+) -> dict:
+    """The ``--emit-metrics`` JSON document.
+
+    ``span_total_modeled_ns`` is the sum of the per-layer buckets;
+    ``modeled_total_ns`` is the same traced stream priced without span
+    attribution — the two agree within rounding, which is the
+    observability layer's no-event-lost invariant.
+    """
+    return {
+        "experiment": result.row(),
+        "modeled_total_ns": result.modeled_total_ns,
+        "span_total_modeled_ns": profile.total_modeled_ns(cost_model),
+        "spans": profile.as_dict(cost_model),
+        "metrics": metrics_snapshot,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro.bench.harness``: the batch-layer microbenchmark.
 
     Measures scalar-vs-batch lookup throughput (the EXPERIMENTS.md
     batch table) and optionally a simulated workload cell driven through
     the batch API (``--workload``).
+
+    With ``--emit-metrics`` / ``--emit-timeline``, runs one fully
+    observed workload cell instead: span attribution + metrics registry
+    land in the metrics JSON, and the simulator's virtual-thread
+    schedule lands in a Chrome trace-event file loadable in Perfetto.
     """
     import argparse
+    import json
 
-    from repro.bench.reporting import format_table
+    from repro.bench.reporting import format_span_table, format_table
     from repro.bench.runner import INDEX_FACTORIES
     from repro.baselines.btree import BPlusTreeIndex
 
@@ -268,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-size", type=int, default=1024)
     parser.add_argument("--lookups", type=int, default=102_400)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--threads", type=int, default=32)
+    parser.add_argument("--ops", type=int, default=20_000, help="workload ops to trace")
     parser.add_argument(
         "--index",
         action="append",
@@ -280,9 +408,51 @@ def main(argv: list[str] | None = None) -> int:
         help="also run this workload through run_experiment(batch_size=...)",
     )
     parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help="run an observed workload cell; write span+metrics JSON here",
+    )
+    parser.add_argument(
+        "--emit-timeline",
+        default=None,
+        metavar="PATH",
+        help="run an observed workload cell; write a Perfetto-loadable "
+        "Chrome trace-event JSON of the simulated schedule here",
+    )
     args = parser.parse_args(argv)
     if args.batch_size < 1:
         parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+
+    if args.emit_metrics or args.emit_timeline:
+        from repro.datasets.generators import dataset
+        from repro.workloads import WORKLOADS
+
+        spec = WORKLOADS[args.workload or "balanced"]
+        keys = dataset(args.dataset, args.n, seed=args.seed)
+        cls = factories[args.index[0] if args.index else "ALT-index"]
+        result, profile, recorder, snapshot = run_observed_experiment(
+            cls,
+            args.dataset,
+            keys,
+            spec,
+            threads=args.threads,
+            n_ops=args.ops,
+            seed=args.seed,
+        )
+        cost_model = SimConfig(threads=args.threads).cost_model
+        print(format_table([result.row()]))
+        print(format_span_table(profile, cost_model))
+        if args.emit_metrics:
+            doc = metrics_document(result, profile, snapshot, cost_model)
+            with open(args.emit_metrics, "w") as fh:
+                json.dump(doc, fh, indent=1)
+            print(f"metrics -> {args.emit_metrics}")
+        if args.emit_timeline:
+            recorder.write(args.emit_timeline)
+            print(f"timeline -> {args.emit_timeline} ({len(recorder.events)} events)")
+        return 0
 
     rows = []
     for name in args.index or ["ALT-index"]:

@@ -35,3 +35,25 @@ def banner(title: str) -> str:
     """Section banner used between benchmark outputs."""
     bar = "=" * max(len(title) + 4, 40)
     return f"\n{bar}\n  {title}\n{bar}"
+
+
+def format_span_table(profile, cost_model, miss_ratio: float = 0.35) -> str:
+    """Per-layer breakdown table of a :class:`~repro.obs.spans.SpanProfile`.
+
+    One row per span name, largest modeled-cost share first, with the
+    share column rendered as a percentage — the presentation of the
+    paper's per-layer cost analysis (its Fig. 6-style attribution).
+    """
+    rows = []
+    for r in profile.breakdown(cost_model, miss_ratio):
+        rows.append(
+            {
+                "span": r["span"],
+                "count": r["count"],
+                "modeled_ms": round(r["modeled_ms"], 3),
+                "share_pct": round(100.0 * r["share"], 2),
+                "reads": r["reads"],
+                "writes": r["writes"],
+            }
+        )
+    return format_table(rows)

@@ -47,11 +47,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the lost-update mutants and scan for a seed that exposes them",
     )
+    parser.add_argument(
+        "--emit-timeline",
+        default=None,
+        metavar="PATH",
+        help="write every (protocol, seed) schedule as one merged Chrome "
+        "trace-event JSON: one process per run, one track per task, with "
+        "injected crashes as instant events and fingerprints in otherData",
+    )
     args = parser.parse_args(argv)
 
     protocols = list(RUNNERS) if args.protocol == "all" else [args.protocol]
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
     ok = True
+    timeline_runs: list[tuple[str, int, object]] = []
 
     for proto in protocols:
         run = RUNNERS[proto]
@@ -73,6 +82,8 @@ def main(argv: list[str] | None = None) -> int:
             continue
         for seed in seeds:
             report = run(seed)
+            if report.scheduler is not None:
+                timeline_runs.append((proto, seed, report.scheduler))
             print(report.summary())
             if not report.ok:
                 ok = False
@@ -85,6 +96,25 @@ def main(argv: list[str] | None = None) -> int:
                     f"{report.fingerprint} != {replay.fingerprint}"
                 )
                 ok = False
+
+    if args.emit_timeline is not None:
+        import json
+
+        from repro.obs.timeline import CHAOS_PID, TimelineRecorder, timeline_from_chaos
+
+        events: list[dict] = []
+        other: dict = {}
+        for i, (proto, seed, sched) in enumerate(timeline_runs):
+            rec = TimelineRecorder(
+                pid=CHAOS_PID + i, process_name=f"chaos:{proto} seed={seed}"
+            )
+            timeline_from_chaos(sched, rec)
+            events.extend(rec.events)
+            other[f"{proto}:seed{seed}"] = rec.other
+        doc = {"traceEvents": events, "displayTimeUnit": "ns", "otherData": other}
+        with open(args.emit_timeline, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"timeline -> {args.emit_timeline} ({len(events)} events)")
 
     print("chaos: OK" if ok else "chaos: FAILED")
     return 0 if ok else 1

@@ -42,6 +42,9 @@ class ScheduleReport:
     ops: list[OpRecord]
     check: CheckResult
     crashed: list[str] = field(default_factory=list)
+    #: the completed scheduler, kept so callers can render the schedule
+    #: as a timeline (:func:`repro.obs.timeline.timeline_from_chaos`)
+    scheduler: ChaosScheduler | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -121,6 +124,7 @@ def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
         ops=rec.ops,
         check=check_linearizable(rec.ops),
         crashed=sched.crashed_tasks(),
+        scheduler=sched,
     )
 
 
@@ -182,6 +186,7 @@ def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
         ops=rec.ops,
         check=check_linearizable(rec.ops),
         crashed=sched.crashed_tasks(),
+        scheduler=sched,
     )
 
 
@@ -240,6 +245,7 @@ def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
             rec.ops, init={100: "seed-100", 200: "seed-200"}
         ),
         crashed=sched.crashed_tasks(),
+        scheduler=sched,
     )
 
 

@@ -17,6 +17,8 @@ import threading
 from typing import Callable
 
 from repro import chaos
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import current_profile
 
 
 class EpochGuard:
@@ -70,6 +72,7 @@ class EpochManager:
     def retire(self, free: Callable[[], None]) -> None:
         """Schedule ``free()`` to run once no reader can observe the object."""
         chaos.point("epoch.retire")
+        obs_metrics.inc("epoch.retired")
         with self._lock:
             self._limbo[self._epoch % 3].append(free)
 
@@ -80,19 +83,32 @@ class EpochManager:
         reclaimed).
         """
         chaos.point("epoch.advance")
-        with self._lock:
-            if any(e < self._epoch for e in self._active.values()):
-                return False
-            self._epoch += 1
-            oldest = self._limbo[self._epoch % 3]
-            self._limbo[self._epoch % 3] = []
-        for free in oldest:
-            free()
-        self.reclaimed += len(oldest)
-        return True
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("epoch.reclaim")
+        try:
+            with self._lock:
+                if any(e < self._epoch for e in self._active.values()):
+                    return False
+                self._epoch += 1
+                oldest = self._limbo[self._epoch % 3]
+                self._limbo[self._epoch % 3] = []
+            for free in oldest:
+                free()
+            self.reclaimed += len(oldest)
+            obs_metrics.inc("epoch.advances")
+            if oldest:
+                obs_metrics.inc("epoch.reclaimed", len(oldest))
+            return True
+        finally:
+            if prof is not None:
+                prof.exit()
 
     def drain(self) -> int:
         """Force-reclaim everything (quiescent shutdown). Returns count."""
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("epoch.reclaim")
         freed = 0
         for _ in range(3):
             with self._lock:
@@ -103,4 +119,8 @@ class EpochManager:
                 free()
             freed += len(batch)
         self.reclaimed += freed
+        if freed:
+            obs_metrics.inc("epoch.reclaimed", freed)
+        if prof is not None:
+            prof.exit()
         return freed

@@ -34,6 +34,8 @@ import time
 from dataclasses import dataclass
 
 from repro import chaos
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import current_profile
 from repro.sim.trace import active_tracer
 
 
@@ -118,25 +120,34 @@ class RetryState:
         exhaustion raises :class:`StuckWriterError` (carrying ``slot``)
         instead of the generic :class:`RetryBudgetExceeded`.
         """
-        active_tracer().retries += 1
-        self.attempts += 1
-        policy = self.policy
-        if self.attempts >= policy.max_retries:
-            if stuck:
-                raise StuckWriterError(self.site, self.attempts, slot)
-            raise RetryBudgetExceeded(self.site, self.attempts)
-        chaos.point(self._point)
-        if chaos.is_active():
-            return  # the schedule decides who runs; no wall-clock waits
-        if self.attempts <= policy.spin_budget:
-            time.sleep(0)  # release the GIL so the writer can finish
-            return
-        exp = self.attempts - policy.spin_budget
-        delay = min(
-            policy.backoff_base_s * policy.backoff_factor ** (exp - 1),
-            policy.backoff_max_s,
-        )
-        time.sleep(delay * (1.0 + random.random() * policy.jitter))
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("retry.backoff")
+        try:
+            active_tracer().retries += 1
+            obs_metrics.inc("retry.attempts")
+            self.attempts += 1
+            policy = self.policy
+            if self.attempts >= policy.max_retries:
+                obs_metrics.inc("retry.budget_exceeded")
+                if stuck:
+                    raise StuckWriterError(self.site, self.attempts, slot)
+                raise RetryBudgetExceeded(self.site, self.attempts)
+            chaos.point(self._point)
+            if chaos.is_active():
+                return  # the schedule decides who runs; no wall-clock waits
+            if self.attempts <= policy.spin_budget:
+                time.sleep(0)  # release the GIL so the writer can finish
+                return
+            exp = self.attempts - policy.spin_budget
+            delay = min(
+                policy.backoff_base_s * policy.backoff_factor ** (exp - 1),
+                policy.backoff_max_s,
+            )
+            time.sleep(delay * (1.0 + random.random() * policy.jitter))
+        finally:
+            if prof is not None:
+                prof.exit()
 
     @property
     def should_fallback(self) -> bool:
@@ -145,7 +156,14 @@ class RetryState:
 
     def count_fallback(self) -> None:
         """Record a pessimistic fallback in the ambient tracer."""
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("retry.fallback")
         active_tracer().fallbacks += 1
+        obs_metrics.inc("retry.fallbacks")
+        obs_metrics.observe("retry.attempts_at_fallback", self.attempts)
+        if prof is not None:
+            prof.exit()
 
 
 def acquire_cooperative(lock, state: RetryState) -> None:

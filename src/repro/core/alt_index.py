@@ -38,6 +38,8 @@ from repro.core.analysis import suggest_error_bound
 from repro.core.fast_pointer import FastPointerBuffer
 from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, LearnedLayer
 from repro.core.retrain import finish_expansion, maybe_start_expansion
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import current_profile
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
 
 _UINT64_MAX = 2**64 - 1
@@ -145,9 +147,18 @@ class ALTIndex(OrderedIndex):
         return self._fastptr.entry(model.fast_index)
 
     def _art_insert(self, key: int, value, index: int, model) -> bool:
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("alt.fastptr")
         entry = self._entry_for(index, model)
+        if prof is not None:
+            prof.exit()
+            prof.enter("alt.art_conflict")
         new = self._art.insert(key, value, from_node=entry, upsert=True)
+        if prof is not None:
+            prof.exit()
         self.conflict_inserts += 1
+        obs_metrics.inc("alt.conflict_inserts")
         return new
 
     def _route(self, key: int):
@@ -168,37 +179,71 @@ class ALTIndex(OrderedIndex):
         — the write-back path migrates it home on a later lookup.
         """
         chaos.point("alt.recover")
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("alt.recover")
         pair = model.recover_slot(slot)
         self.recoveries += 1
+        obs_metrics.inc("alt.recoveries")
         if pair is not None:
             self._art.insert(pair[0], pair[1], upsert=True)
+        if prof is not None:
+            prof.exit()
 
-    def _read_slot_recovering(self, model, slot: int):
+    def _read_slot_recovering(self, model, slot: int, prof=None):
         """``model.read_slot`` with stuck-writer detection and recovery."""
+        if prof is not None:
+            prof.enter("alt.gpl_probe")
         try:
-            return model.read_slot(slot)
-        except StuckWriterError:
-            self._recover_stuck_slot(model, slot)
-            return model.read_slot(slot)
+            try:
+                return model.read_slot(slot)
+            except StuckWriterError:
+                self._recover_stuck_slot(model, slot)
+                return model.read_slot(slot)
+        finally:
+            if prof is not None:
+                prof.exit()
 
     # ------------------------------------------------------------------
     # Algorithm 2: Search
     # ------------------------------------------------------------------
     def get(self, key: int):
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("alt.model_probe")
         i, model = self._route(key)
         if model is None:
-            return self._art.search(key)
+            if prof is not None:
+                prof.exit()
+                prof.enter("alt.art_conflict")
+            value = self._art.search(key)
+            if prof is not None:
+                prof.exit()
+            return value
         slot = model.slot_of(key)
-        state, resident, value = self._read_slot_recovering(model, slot)
+        if prof is not None:
+            prof.exit()
+        state, resident, value = self._read_slot_recovering(model, slot, prof)
         if state == FULL and resident == key:
             return value
         exp = model.expansion
         if exp is not None:
+            if prof is not None:
+                prof.enter("alt.retrain")
             found, bval = exp.lookup(key)
+            if prof is not None:
+                prof.exit()
             if found:
                 return bval
+        if prof is not None:
+            prof.enter("alt.fastptr")
         entry = self._entry_for(i, model)
+        if prof is not None:
+            prof.exit()
+            prof.enter("alt.art_conflict")
         value = self._art.search(key, from_node=entry)
+        if prof is not None:
+            prof.exit()
         if (
             value is not None
             and exp is None
@@ -207,9 +252,14 @@ class ALTIndex(OrderedIndex):
             # Write-back: Algorithm 2 lines 10-13 — repatriate the key
             # from ART into its (now free) predicted slot.
             chaos.point("alt.writeback")
+            if prof is not None:
+                prof.enter("alt.writeback")
             model.write_slot(slot, key, value)
             self._art.remove(key)
+            if prof is not None:
+                prof.exit()
             self.writebacks += 1
+            obs_metrics.inc("alt.writebacks")
         return value
 
     # ------------------------------------------------------------------
@@ -308,10 +358,15 @@ class ALTIndex(OrderedIndex):
     # Algorithm 2: Insert
     # ------------------------------------------------------------------
     def insert(self, key: int, value) -> bool:
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("alt.model_probe")
         i, model = self._route(key)
         if model is None:
             self._bootstrap_model(key)
             i, model = self._route(key)
+        if prof is not None:
+            prof.exit()
 
         if self._retraining:
             exp = model.expansion
@@ -321,36 +376,51 @@ class ALTIndex(OrderedIndex):
                 )
                 if exp is not None:
                     self.expansions += 1
+                    obs_metrics.inc("alt.expansions")
             if exp is not None:
-                spilled_self = False
+                if prof is not None:
+                    prof.enter("alt.retrain")
+                try:
+                    spilled_self = False
 
-                def spill(k, v):
-                    nonlocal spilled_self
-                    if k == key:
-                        spilled_self = True
-                    return self._art_insert(k, v, i, model)
+                    def spill(k, v):
+                        nonlocal spilled_self
+                        if k == key:
+                            spilled_self = True
+                        return self._art_insert(k, v, i, model)
 
-                new = exp.absorb(key, value, spill)
-                if new and not spilled_self and self._art.remove(key):
-                    # The key already lived in ART (its old predicted
-                    # slot was full); the buffer copy supersedes it.
-                    new = False
-                model.insert_count += 1
-                if exp.is_complete():
-                    finish_expansion(
-                        self._layer,
-                        i,
-                        lambda k, v: self._art_insert(k, v, i, model),
-                    )
-                if new:
-                    self._bump(1)
-                return new
+                    new = exp.absorb(key, value, spill)
+                    if new and not spilled_self and self._art.remove(key):
+                        # The key already lived in ART (its old predicted
+                        # slot was full); the buffer copy supersedes it.
+                        new = False
+                    model.insert_count += 1
+                    if exp.is_complete():
+                        finish_expansion(
+                            self._layer,
+                            i,
+                            lambda k, v: self._art_insert(k, v, i, model),
+                        )
+                    if new:
+                        self._bump(1)
+                    return new
+                finally:
+                    if prof is not None:
+                        prof.exit()
 
+        if prof is not None:
+            prof.enter("alt.model_probe")
         slot = model.slot_of(key)
-        state, resident, _ = self._read_slot_recovering(model, slot)
+        if prof is not None:
+            prof.exit()
+        state, resident, _ = self._read_slot_recovering(model, slot, prof)
         if state == FULL:
             if resident == key:
+                if prof is not None:
+                    prof.enter("alt.gpl_probe")
                 model.write_slot(slot, key, value)  # in-place upsert
+                if prof is not None:
+                    prof.exit()
                 return False
             new = self._art_insert(key, value, i, model)
             model.insert_count += 1
@@ -365,7 +435,11 @@ class ALTIndex(OrderedIndex):
             if new:
                 self._bump(1)
             return new
+        if prof is not None:
+            prof.enter("alt.gpl_probe")
         model.write_slot(slot, key, value)
+        if prof is not None:
+            prof.exit()
         if key > model.last_key:
             model.last_key = key
         model.insert_count += 1
@@ -376,40 +450,78 @@ class ALTIndex(OrderedIndex):
     # update / remove (§III-G)
     # ------------------------------------------------------------------
     def update(self, key: int, value) -> bool:
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("alt.model_probe")
         i, model = self._route(key)
         if model is None:
+            if prof is not None:
+                prof.exit()
             return False
         slot = model.slot_of(key)
-        state, resident, _ = self._read_slot_recovering(model, slot)
+        if prof is not None:
+            prof.exit()
+        state, resident, _ = self._read_slot_recovering(model, slot, prof)
         if state == FULL and resident == key:
+            if prof is not None:
+                prof.enter("alt.gpl_probe")
             model.write_slot(slot, key, value)
+            if prof is not None:
+                prof.exit()
             return True
         exp = model.expansion
         if exp is not None and exp.update(key, value):
             return True
+        if prof is not None:
+            prof.enter("alt.fastptr")
         entry = self._entry_for(i, model)
-        if self._art.search(key, from_node=entry) is None:
-            return False
-        self._art.insert(key, value, from_node=entry, upsert=True)
-        return True
+        if prof is not None:
+            prof.exit()
+            prof.enter("alt.art_conflict")
+        try:
+            if self._art.search(key, from_node=entry) is None:
+                return False
+            self._art.insert(key, value, from_node=entry, upsert=True)
+            return True
+        finally:
+            if prof is not None:
+                prof.exit()
 
     def remove(self, key: int) -> bool:
+        prof = current_profile()
+        if prof is not None:
+            prof.enter("alt.model_probe")
         i, model = self._route(key)
         if model is None:
+            if prof is not None:
+                prof.exit()
+                prof.enter("alt.art_conflict")
             removed = self._art.remove(key)
+            if prof is not None:
+                prof.exit()
             if removed:
                 self._bump(-1)
             return removed
         slot = model.slot_of(key)
-        state, resident, _ = self._read_slot_recovering(model, slot)
+        if prof is not None:
+            prof.exit()
+        state, resident, _ = self._read_slot_recovering(model, slot, prof)
         removed = False
         if state == FULL and resident == key:
+            if prof is not None:
+                prof.enter("alt.gpl_probe")
             model.clear_slot(slot, tombstone=True)
+            if prof is not None:
+                prof.exit()
             removed = True
         elif model.expansion is not None and model.expansion.remove(key):
             removed = True
         if not removed:
+            if prof is not None:
+                prof.enter("alt.art_conflict")
             removed = self._art.remove(key)
+            if prof is not None:
+                prof.exit()
         if removed:
             self._bump(-1)
         return removed
@@ -508,4 +620,10 @@ class ALTIndex(OrderedIndex):
         }
         if self._fastptr is not None:
             stats["fast_pointers"] = self._fastptr.stats()
+        reg = obs_metrics.active_registry()
+        if reg is not None:
+            reg.set_gauge("alt.model_count", stats["model_count"])
+            reg.set_gauge("alt.learned_fraction", stats["learned_fraction"])
+            reg.set_gauge("alt.memory_bytes", stats["memory_bytes"])
+            reg.set_gauge("alt.art_keys", stats["art_keys"])
         return stats

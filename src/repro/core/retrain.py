@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, GPLModel, LearnedLayer
+from repro.obs import metrics as obs_metrics
 from repro.sim.trace import MemoryMap
 
 SpillFn = Callable[[int, object], None]
@@ -134,6 +135,8 @@ def maybe_start_expansion(
     if model.insert_count <= max(model.build_size, 1):
         return None
     model.expansion = ExpansionBuffer(model, memory, tag)
+    obs_metrics.inc("retrain.started")
+    obs_metrics.observe("retrain.old_slots", model.n_slots)
     return model.expansion
 
 
@@ -144,4 +147,6 @@ def finish_expansion(layer: LearnedLayer, index: int, spill: SpillFn) -> GPLMode
     new_model = model.expansion.finish(spill)
     model.expansion = None
     layer.replace_model(index, new_model)
+    obs_metrics.inc("retrain.finished")
+    obs_metrics.observe("retrain.new_slots", new_model.n_slots)
     return new_model

@@ -1,0 +1,73 @@
+"""Unified observability: layer-attributed spans, metrics, timelines.
+
+Three instruments, one package (see docs/OBSERVABILITY.md):
+
+- :mod:`repro.obs.spans` — hierarchical spans composing with the ambient
+  :class:`~repro.sim.trace.CostTrace`, attributing every modeled event
+  to a named layer (``alt.model_probe``, ``alt.gpl_probe``, …).
+- :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
+  and log-bucketed histograms with snapshot/delta export.
+- :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export of
+  the simulator's virtual-time schedule and chaos schedule logs.
+
+All three follow the repository's ambient-instrumentation rule: hot
+paths pay a module-global load and a ``None`` test when the instrument
+is disabled, and nothing else.
+
+The legal span names live in :mod:`repro.obs.taxonomy`;
+``repro.tools.check_spans`` (tier-1) keeps code and taxonomy in sync.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    inc,
+    metrics_registry,
+    observe,
+    set_gauge,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanProfile,
+    SpanStats,
+    current_profile,
+    profiled,
+    span,
+)
+from repro.obs.taxonomy import (
+    CHAOS_EXEMPT_PREFIXES,
+    CHAOS_SPAN_MAP,
+    SPAN_TAXONOMY,
+    is_exempt_point,
+    span_for_point,
+)
+from repro.obs.timeline import (
+    TimelineRecorder,
+    timeline_from_chaos,
+    validate_timeline,
+)
+
+__all__ = [
+    "CHAOS_EXEMPT_PREFIXES",
+    "CHAOS_SPAN_MAP",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SPAN_TAXONOMY",
+    "SpanProfile",
+    "SpanStats",
+    "TimelineRecorder",
+    "active_registry",
+    "current_profile",
+    "inc",
+    "is_exempt_point",
+    "metrics_registry",
+    "observe",
+    "profiled",
+    "set_gauge",
+    "span",
+    "span_for_point",
+    "timeline_from_chaos",
+    "validate_timeline",
+]

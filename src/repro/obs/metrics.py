@@ -1,0 +1,279 @@
+"""Thread-safe metrics registry: counters, gauges, log-bucketed histograms.
+
+Where :mod:`repro.obs.spans` answers "which layer did this operation's
+cost accrue in?", the registry answers the fleet-level questions a
+production deployment would scrape: how many writebacks happened, how
+deep do retry loops go, what does the latency distribution look like
+across a whole run.  Instrumented code reports through module-level
+helpers (:func:`inc`, :func:`observe`, :func:`set_gauge`) that follow
+the :func:`repro.chaos.point` pattern — one global load and a ``None``
+test when no registry is installed, so the disabled path costs nothing
+measurable.
+
+All mutation goes through a single registry lock.  That is deliberate:
+the instrumented structures emulate concurrency under the GIL and under
+the chaos scheduler's cooperative stepping, so metric updates are rare
+relative to modeled events and a plain lock is both correct under real
+threads and cheap.
+
+Export is pull-based: :meth:`MetricsRegistry.snapshot` returns a plain
+nested dict (JSON-ready); :meth:`MetricsRegistry.delta` subtracts an
+earlier snapshot so callers can report per-phase increments.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_LOCK_GRANULARITY_DOC = None  # see module docstring
+
+
+class Counter:
+    """Monotonic non-negative counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two log-bucketed histogram of non-negative samples.
+
+    Bucket ``i`` counts samples in ``[2**(i-1), 2**i)`` (bucket 0 holds
+    samples < 1).  Log bucketing keeps the footprint constant (64
+    buckets cover the full int range) while preserving the shape of
+    heavy-tailed latency distributions — the standard trick from
+    HdrHistogram-style production telemetry.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total")
+
+    NBUCKETS = 64
+
+    def __init__(self, name: str):
+        self.name = name
+        self.buckets = [0] * self.NBUCKETS
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} takes non-negative samples")
+        iv = int(value)
+        idx = iv.bit_length() if iv else 0
+        if idx >= self.NBUCKETS:
+            idx = self.NBUCKETS - 1
+        self.buckets[idx] += 1
+        self.count += 1
+        self.total += value
+
+    def observe_many(self, values) -> None:
+        for v in values:
+            self.observe(v)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding the
+        q-th sample.  Good to a factor of two, which is the resolution
+        log bucketing promises."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen > rank:
+                return float(2**idx) if idx else 1.0
+        return float(2 ** (self.NBUCKETS - 1))
+
+    def as_dict(self) -> dict:
+        # Sparse bucket map keeps snapshots compact.
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean(),
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": {str(i): n for i, n in enumerate(self.buckets) if n},
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one lock.
+
+    Instruments are created on first use (``registry.counter("x")``), so
+    instrumented code never has to pre-declare what it reports.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (get-or-create) ---------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            return h
+
+    # -- recording (locked; the helpers below route here) ----------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            c.inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            g.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            h.observe(value)
+
+    def observe_many(self, name: str, values) -> None:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            h.observe_many(values)
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every instrument, as plain data."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.as_dict() for n, h in self._histograms.items()
+                },
+            }
+
+    def delta(self, earlier: dict) -> dict:
+        """Counters/histogram-counts since ``earlier`` (a prior snapshot).
+
+        Gauges are instantaneous, so the current value is reported as-is.
+        Instruments absent from ``earlier`` diff against zero.
+        """
+        now = self.snapshot()
+        ec = earlier.get("counters", {})
+        eh = earlier.get("histograms", {})
+        return {
+            "counters": {
+                n: v - ec.get(n, 0) for n, v in now["counters"].items()
+            },
+            "gauges": now["gauges"],
+            "histograms": {
+                n: {
+                    "count": d["count"] - eh.get(n, {}).get("count", 0),
+                    "total": d["total"] - eh.get(n, {}).get("total", 0.0),
+                }
+                for n, d in now["histograms"].items()
+            },
+        }
+
+
+# -- ambient activation ----------------------------------------------------
+#: The installed registry, or None.  Module-global on purpose (the
+#: chaos.point pattern): instrumented hot paths call the helpers below
+#: and must pay only a global load + None test when metrics are off.
+_active: MetricsRegistry | None = None
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The installed registry, or None when metrics are disabled."""
+    return _active
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` iff a registry is installed."""
+    r = _active
+    if r is not None:
+        r.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` iff a registry is installed."""
+    r = _active
+    if r is not None:
+        r.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram sample iff a registry is installed."""
+    r = _active
+    if r is not None:
+        r.observe(name, value)
+
+
+class metrics_registry:
+    """Install a registry for the dynamic extent of a ``with`` block.
+
+    A context-manager *class* (not ``@contextmanager``) so repeated
+    entries allocate nothing beyond the instance, and so tests can
+    assert installation state between enter and exit.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._prev: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        global _active
+        self._prev = _active
+        _active = self.registry
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        global _active
+        _active = self._prev
+        return False

@@ -1,0 +1,110 @@
+"""The registered span namespace and its mapping onto chaos points.
+
+Two name spaces thread through the instrumented code: observability
+spans (:mod:`repro.obs.spans`) and chaos interleaving points
+(:func:`repro.chaos.point`).  They describe the same protocol sites from
+two angles — "where does cost accrue" vs. "where can a preemption change
+the outcome" — and they drift apart silently if nothing ties them
+together.  This module is the single source of truth:
+
+- :data:`SPAN_TAXONOMY` registers every legal span name with a
+  one-line meaning.  ``repro.tools.check_spans`` (tier-1) rejects any
+  span literal in the source tree that is not registered here, and any
+  registered name that no code uses.
+- :data:`CHAOS_SPAN_MAP` maps each chaos point to the span that covers
+  it, so every interleaving point is guaranteed to be attributable to a
+  layer in the breakdown tables.
+- :data:`CHAOS_EXEMPT_PREFIXES` lists point families that deliberately
+  have no span (e.g. the planted-mutant points that exist only to give
+  the linearizability checker a bug to catch).
+
+docs/OBSERVABILITY.md renders this taxonomy for humans; keep the two in
+sync (check_docs covers the doc, check_spans covers the code).
+"""
+
+from __future__ import annotations
+
+#: Every legal span name -> one-line description.
+SPAN_TAXONOMY: dict[str, str] = {
+    # -- operation envelopes (opened by the harness / batch layer) -------
+    "op.read": "one point lookup, end to end",
+    "op.insert": "one insert, end to end",
+    "op.scan": "one range scan, end to end",
+    # -- ALT-index layers (§III) ----------------------------------------
+    "alt.model_probe": "learned-layer routing: segment search + slope/intercept predict",
+    "alt.gpl_probe": "gapped-probe-list slot read/write (seqlock protocol)",
+    "alt.fastptr": "fast-pointer buffer hit path: register/lookup/repair",
+    "alt.art_conflict": "ART conflict path: insert/lookup of overflow keys",
+    "alt.retrain": "expansion/retrain pipeline: absorb, rebuild, swap",
+    "alt.writeback": "repatriating ART-resident keys into fresh GPL slots",
+    "alt.recover": "stuck-slot recovery: salvage, tombstone, repatriate",
+    # -- shared concurrency machinery ------------------------------------
+    "retry.backoff": "bounded-retry spin/backoff while a protocol step is contended",
+    "retry.fallback": "pessimistic fallback after the optimistic budget is spent",
+    "epoch.reclaim": "epoch-based reclamation: enter/retire/advance/drain",
+    # -- baseline equivalents -------------------------------------------
+    "alex.model_probe": "ALEX+ model routing to a data node",
+    "alex.node_search": "ALEX+ in-node gapped-array search",
+    "alex.modify": "ALEX+ insert/remove incl. node split",
+    "lipp.descend": "LIPP+ per-level model descent",
+    "lipp.rebuild": "LIPP+ subtree rebuild on conflict pressure",
+    "xindex.group_probe": "XIndex group model probe of the sorted array",
+    "xindex.buffer": "XIndex per-group delta-buffer access",
+    "finedex.model_probe": "FINEdex level-model probe",
+    "finedex.bin": "FINEdex per-position insert-bin access",
+    "art.descend": "ART trie descent (OLC read/write protocol)",
+    "btree.descend": "B+-tree root-to-leaf descent + leaf ops",
+    "rmi.predict": "RMI two-stage model prediction",
+    "rmi.secondary": "RMI bounded secondary search around the prediction",
+}
+
+#: chaos point -> covering span.  check_spans asserts every
+#: ``chaos.point("...")`` literal in the tree appears here or is exempt.
+CHAOS_SPAN_MAP: dict[str, str] = {
+    # GPL slot seqlock protocol
+    "gpl.read_fields": "alt.gpl_probe",
+    "gpl.slot_cas": "alt.gpl_probe",
+    "gpl.slot_fields": "alt.gpl_probe",
+    "slot.write_cas": "alt.gpl_probe",
+    "slot.write_latched": "alt.gpl_probe",
+    "slot.write_publish": "alt.gpl_probe",
+    # fast-pointer buffer
+    "fastptr.register": "alt.fastptr",
+    "fastptr.locked": "alt.fastptr",
+    "fastptr.repair": "alt.fastptr",
+    # ART optimistic lock coupling
+    "art.descend": "art.descend",
+    "olc.upgrade": "art.descend",
+    "olc.write_locked": "art.descend",
+    "olc.write_unlock": "art.descend",
+    "art.fallback": "retry.fallback",
+    # shared machinery
+    "spin.acquire": "retry.backoff",
+    "epoch.enter": "epoch.reclaim",
+    "epoch.retire": "epoch.reclaim",
+    "epoch.advance": "epoch.reclaim",
+    # ALT maintenance paths
+    "alt.writeback": "alt.writeback",
+    "alt.recover": "alt.recover",
+}
+
+#: Point families with no span by design.  ``planted.*`` points exist
+#: only inside the deliberately-buggy mutant protocols that the
+#: linearizability checker must flag; they never run in benchmarks.
+CHAOS_EXEMPT_PREFIXES: tuple[str, ...] = ("planted.",)
+
+#: Files allowed to call ``chaos.point(<non-literal>)``.  The bounded-
+#: retry helper parameterises its point name per call site
+#: (``site + ".retry"``), which a static literal check cannot follow.
+NON_LITERAL_POINT_ALLOWLIST: tuple[str, ...] = (
+    "src/repro/concurrency/retry.py",
+)
+
+
+def span_for_point(point: str) -> str | None:
+    """Covering span for a chaos point, or None when exempt/unknown."""
+    return CHAOS_SPAN_MAP.get(point)
+
+
+def is_exempt_point(point: str) -> bool:
+    return point.startswith(CHAOS_EXEMPT_PREFIXES)

@@ -1,0 +1,273 @@
+"""Chrome trace-event timelines for the simulator and the chaos harness.
+
+The simulator computes a full virtual-time schedule — which virtual
+thread ran which operation when, where it stalled on a contended line,
+where an optimistic conflict forced a retry — and then throws it away
+after aggregating throughput.  :class:`TimelineRecorder` captures that
+schedule as Chrome trace-event JSON (the ``chrome://tracing`` /
+`Perfetto <https://ui.perfetto.dev>`_ format), one track per virtual
+thread, so a latency anomaly can be *looked at* instead of inferred from
+percentiles.
+
+Format notes (see the Trace Event Format spec):
+
+- top level is ``{"traceEvents": [...], "displayTimeUnit": "ns",
+  "otherData": {...}}``;
+- ``ph: "X"`` is a complete slice with microsecond ``ts``/``dur``;
+- ``ph: "i"`` is an instant event (``s: "t"`` scopes it to its thread);
+- ``ph: "M"`` metadata names processes and threads.
+
+The recorder stores events as plain dicts and never touches wall-clock
+time: all timestamps are the simulator's virtual nanoseconds, converted
+to the format's microseconds on emission.  :func:`validate_timeline`
+checks the invariants the acceptance tests rely on;
+:func:`timeline_from_chaos` renders a chaos schedule log in the same
+format so scheduler explorations are inspectable with the same tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: pid values: one "process" per event source keeps simulator tracks and
+#: chaos tracks separable when streams are merged into one file.
+SIM_PID = 1
+CHAOS_PID = 2
+
+
+class TimelineRecorder:
+    """Accumulates Chrome trace events from a simulator run.
+
+    All ``*_ns`` arguments are virtual nanoseconds.  ``tid`` is the
+    virtual worker thread index; background threads get their own tracks
+    after the workers (handled by :meth:`background`).
+    """
+
+    def __init__(self, pid: int = SIM_PID, process_name: str = "simulator"):
+        self.pid = pid
+        self.events: list[dict] = []
+        self._named_tids: set[int] = set()
+        self.other: dict = {}
+        self.events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+
+    # -- track naming ----------------------------------------------------
+    def name_thread(self, tid: int, name: str) -> None:
+        if tid in self._named_tids:
+            return
+        self._named_tids.add(tid)
+        self.events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    # -- event emission --------------------------------------------------
+    def slice(
+        self,
+        tid: int,
+        name: str,
+        start_ns: float,
+        dur_ns: float,
+        args: dict | None = None,
+        cat: str = "op",
+    ) -> None:
+        """A complete slice (``ph: "X"``) on thread ``tid``."""
+        ev = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "pid": self.pid,
+            "tid": tid,
+            "ts": start_ns / 1e3,
+            "dur": dur_ns / 1e3,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def instant(
+        self, tid: int, name: str, ts_ns: float, args: dict | None = None,
+        cat: str = "event",
+    ) -> None:
+        """A thread-scoped instant event (``ph: "i"``)."""
+        ev = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "s": "t",
+            "pid": self.pid,
+            "tid": tid,
+            "ts": ts_ns / 1e3,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    # -- simulator-facing helpers ---------------------------------------
+    def op(
+        self,
+        tid: int,
+        name: str,
+        start_ns: float,
+        dur_ns: float,
+        *,
+        hits: int,
+        misses: int,
+        invals: int,
+    ) -> None:
+        self.name_thread(tid, f"worker-{tid}")
+        self.slice(
+            tid,
+            name,
+            start_ns,
+            dur_ns,
+            args={"cache_hits": hits, "cache_misses": misses, "invalidations": invals},
+        )
+
+    def lock_wait(self, tid: int, start_ns: float, dur_ns: float, line: int) -> None:
+        """Coherence serialization: the op stalled until a contended
+        line's previous writer finished."""
+        self.slice(
+            tid,
+            "lock_wait",
+            start_ns,
+            dur_ns,
+            args={"line": line},
+            cat="contention",
+        )
+
+    def conflict(self, tid: int, ts_ns: float) -> None:
+        """Optimistic write-write conflict detected (op retries)."""
+        self.instant(tid, "conflict", ts_ns, cat="contention")
+
+    def fault(self, tid: int, ts_ns: float, count: int) -> None:
+        """Chaos-injected fault(s) recorded inside the traced op."""
+        self.instant(
+            tid, "injected_fault", ts_ns, args={"count": count}, cat="fault"
+        )
+
+    def background(
+        self, bg_index: int, n_workers: int, start_ns: float, dur_ns: float
+    ) -> None:
+        """Background (compaction/retrain) work on its own track after
+        the worker tracks."""
+        tid = n_workers + bg_index
+        self.name_thread(tid, f"background-{bg_index}")
+        self.slice(tid, "background_work", start_ns, dur_ns, cat="background")
+
+    # -- export ----------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ns",
+            "otherData": dict(self.other),
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=1)
+
+
+def timeline_from_chaos(scheduler, recorder: TimelineRecorder | None = None) -> TimelineRecorder:
+    """Render a completed :class:`~repro.chaos.scheduler.ChaosScheduler`
+    run as a timeline.
+
+    The chaos scheduler has no notion of duration — only an ordered
+    firing log — so each scheduling step becomes one unit of virtual
+    time: a task's slice spans from one of its point firings to its
+    next, and crash injections appear as instant events.  The schedule
+    fingerprint and seed land in ``otherData`` so a timeline file
+    identifies the exact replayable schedule it depicts.
+    """
+    recorder = recorder or TimelineRecorder(pid=CHAOS_PID, process_name="chaos")
+    tids = {task.name: i for i, task in enumerate(scheduler.tasks)}
+    crashed = set(scheduler.crashed_tasks())
+    STEP_NS = 1000.0  # one scheduling step rendered as 1µs
+    last_step: dict[str, tuple[int, str]] = {}
+    for step, task, point in scheduler.log:
+        tid = tids.setdefault(task, len(tids))
+        recorder.name_thread(tid, f"task:{task}")
+        prev = last_step.get(task)
+        if prev is not None:
+            pstep, ppoint = prev
+            recorder.slice(
+                tid,
+                ppoint,
+                pstep * STEP_NS,
+                (step - pstep) * STEP_NS,
+                cat="chaos_point",
+            )
+        last_step[task] = (step, point)
+    for task, (step, point) in last_step.items():
+        tid = tids[task]
+        if task in crashed:
+            recorder.instant(
+                tid, "injected_crash", step * STEP_NS, args={"point": point}, cat="fault"
+            )
+        else:
+            recorder.slice(tid, point, step * STEP_NS, STEP_NS, cat="chaos_point")
+    recorder.other["chaos_seed"] = scheduler.seed
+    recorder.other["chaos_fingerprint"] = scheduler.fingerprint()
+    recorder.other["chaos_steps"] = len(scheduler.log)
+    return recorder
+
+
+def validate_timeline(doc: dict) -> list[str]:
+    """Structural check of a Chrome trace-event document.
+
+    Returns a list of problems (empty means valid).  Checks the subset
+    of the format the exporters rely on: top-level shape, required
+    per-phase fields, non-negative microsecond timestamps, and that
+    every event's thread has a ``thread_name`` metadata record.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if doc.get("displayTimeUnit") not in ("ns", "ms"):
+        problems.append("displayTimeUnit must be 'ns' or 'ms'")
+    named: set[tuple[int, int]] = set()
+    used: set[tuple[int, int]] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        where = f"event {i} ({ev.get('name')!r})"
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named.add((ev.get("pid"), ev.get("tid")))
+            continue
+        if ph not in ("X", "i"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        used.add((ev.get("pid"), ev.get("tid")))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant event needs scope 's'")
+    for pid, tid in sorted(used - named):
+        problems.append(f"track pid={pid} tid={tid} has no thread_name metadata")
+    return problems

@@ -120,6 +120,7 @@ def simulate(
     op_traces: Sequence[CostTrace] | Iterable[CostTrace],
     config: SimConfig | None = None,
     warmup: int = 0,
+    timeline=None,
 ) -> SimResult:
     """Replay traced operations on virtual threads; see module docstring.
 
@@ -127,6 +128,15 @@ def simulate(
     caches and establish write ownership) but excluded from latency
     percentiles and throughput — the paper measures steady state, not
     cold caches.
+
+    ``timeline`` optionally takes a
+    :class:`~repro.obs.timeline.TimelineRecorder`; the engine then emits
+    one track per virtual thread with an op slice (named by the trace's
+    ``op_label``) per operation, ``lock_wait`` slices where coherence
+    serialization stalled an op, ``conflict``/``injected_fault`` instant
+    events, and one track per background thread.  Timestamps are the
+    engine's virtual nanoseconds *before* bandwidth stretching (the
+    applied factor is recorded in ``otherData``).
     """
     config = config or SimConfig()
     traces = list(op_traces)
@@ -169,39 +179,35 @@ def simulate(
         cache = caches[tid]
         mem_ns = 0.0
         op_conflict = False
+        op_hits = op_misses = op_invals = 0
 
         for line in trace.reads:
             lw = last_write.get(line)
             prev = cache.touch(line, start)
             if prev is not None and (lw is None or lw[1] <= prev or lw[0] == tid):
                 mem_ns += hit_ns
-                if measured:
-                    hits += 1
+                op_hits += 1
             elif prev is not None and lw is not None and lw[0] != tid:
                 mem_ns += inval_ns
-                if measured:
-                    invals += 1
+                op_invals += 1
             else:
                 mem_ns += miss_ns
-                if measured:
-                    misses += 1
+                op_misses += 1
 
         serialize_until = 0.0
+        serialize_line = -1
         for line in trace.writes:
             lw = last_write.get(line)
             prev = cache.touch(line, start)
             if prev is not None and (lw is None or lw[1] <= prev or lw[0] == tid):
                 mem_ns += hit_ns
-                if measured:
-                    hits += 1
+                op_hits += 1
             elif prev is not None and lw is not None and lw[0] != tid:
                 mem_ns += inval_ns
-                if measured:
-                    invals += 1
+                op_invals += 1
             else:
                 mem_ns += miss_ns
-                if measured:
-                    misses += 1
+                op_misses += 1
             # Optimistic write-write conflict: another thread's write to
             # this line completed after our operation began -> the
             # version check fails and the op retries (§III-E).  Cache
@@ -215,6 +221,12 @@ def simulate(
                 until = lw[1] + inval_ns
                 if until > serialize_until:
                     serialize_until = until
+                    serialize_line = line
+
+        if measured:
+            hits += op_hits
+            misses += op_misses
+            invals += op_invals
 
         base_ns = model.compute_ns(trace) + mem_ns
         if op_conflict:
@@ -223,12 +235,32 @@ def simulate(
             base_ns += base_ns * model.retry_fraction
 
         end = start + base_ns
+        wait_ns = 0.0
         if serialize_until > end:
+            wait_ns = serialize_until - end
             end = serialize_until
             base_ns = end - start
         # Writes become visible (and contested) at op completion time.
         for line in trace.writes:
             last_write[line] = (tid, end)
+
+        if timeline is not None:
+            label = getattr(full, "op_label", None)
+            timeline.op(
+                tid,
+                f"op.{label}" if label else "op",
+                start,
+                end - start,
+                hits=op_hits,
+                misses=op_misses,
+                invals=op_invals,
+            )
+            if wait_ns > 0.0:
+                timeline.lock_wait(tid, end - wait_ns, wait_ns, serialize_line)
+            if op_conflict:
+                timeline.conflict(tid, end)
+            if trace.injected_faults:
+                timeline.fault(tid, start, trace.injected_faults)
 
         if measured:
             latencies[op_idx - warmup] = base_ns
@@ -244,8 +276,11 @@ def simulate(
             # Charge to the least-loaded background thread, but never
             # earlier than the moment the work was handed off.
             bi = min(range(len(bg_clocks)), key=bg_clocks.__getitem__)
-            bg_clocks[bi] = max(bg_clocks[bi], end) + bg_ns
+            bg_start = max(bg_clocks[bi], end)
+            bg_clocks[bi] = bg_start + bg_ns
             total_bg_ns += bg_ns
+            if timeline is not None:
+                timeline.background(bi, n_threads, bg_start, bg_ns)
 
         if cursors[tid] < len(queues[tid]):
             heapq.heappush(heap, (end, tid))
@@ -264,6 +299,11 @@ def simulate(
         if factor > 1.0:
             measured_span *= factor
             latencies = latencies * factor
+
+    if timeline is not None:
+        timeline.other["bandwidth_factor"] = factor
+        timeline.other["threads"] = n_threads
+        timeline.other["total_ops"] = len(traces)
 
     return SimResult(
         threads=n_threads,

@@ -26,8 +26,19 @@ class LatencySummary:
 
 
 def summarize_latencies(latencies_ns: Iterable[float] | np.ndarray) -> LatencySummary:
-    """Compute the percentile summary of per-operation latencies."""
-    arr = np.asarray(list(latencies_ns) if not isinstance(latencies_ns, np.ndarray) else latencies_ns, dtype=np.float64)
+    """Compute the percentile summary of per-operation latencies.
+
+    Accepts any array-like without an intermediate ``list(...)`` copy:
+    ndarrays pass through (cast only if needed), sized sequences go via
+    ``np.asarray``, and plain iterators/generators stream through
+    ``np.fromiter``.
+    """
+    if isinstance(latencies_ns, np.ndarray):
+        arr = latencies_ns.astype(np.float64, copy=False).ravel()
+    elif hasattr(latencies_ns, "__len__"):
+        arr = np.asarray(latencies_ns, dtype=np.float64).ravel()
+    else:
+        arr = np.fromiter(latencies_ns, dtype=np.float64)
     if arr.size == 0:
         return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
     p50, p99, p999 = np.percentile(arr, [50, 99, 99.9])

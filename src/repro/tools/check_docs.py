@@ -26,7 +26,12 @@ from pathlib import Path
 #: (call syntax) and a leading ``python -m `` are tolerated and stripped.
 _NAME_RE = re.compile(r"`(?:python -m )?(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)(?:\(\))?`")
 
-DEFAULT_FILES = ("docs/API.md", "docs/ARCHITECTURE.md", "README.md")
+DEFAULT_FILES = (
+    "docs/API.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+    "README.md",
+)
 
 
 def extract_names(text: str) -> list[str]:

@@ -1,0 +1,171 @@
+"""Static span/chaos-point consistency checker (tier-1).
+
+The observability layer only works if its two name spaces stay closed:
+
+1. **Every span literal is registered.**  A ``prof.enter("...")`` /
+   ``prof.span("...")`` / ``obs.span("...")`` call site whose name is
+   not in :data:`repro.obs.taxonomy.SPAN_TAXONOMY` produces buckets the
+   breakdown tables and docs know nothing about.
+2. **Every registered span is used.**  A taxonomy entry no source file
+   references is documentation drift.
+3. **Every chaos point is attributable.**  Each
+   ``chaos.point("...")`` literal must map to a covering span in
+   :data:`~repro.obs.taxonomy.CHAOS_SPAN_MAP` or be explicitly exempt
+   (:data:`~repro.obs.taxonomy.CHAOS_EXEMPT_PREFIXES`) — otherwise an
+   interleaving point exists whose cost cannot be attributed to any
+   layer.  Non-literal point names are only legal in files listed in
+   :data:`~repro.obs.taxonomy.NON_LITERAL_POINT_ALLOWLIST`.
+
+The checks are AST-based (docstrings and comments are ignored), in the
+style of :mod:`repro.tools.check_spins`, and run in tier-1 via
+``tests/test_span_check.py``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.check_spans [files...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+from repro.obs.taxonomy import (
+    CHAOS_SPAN_MAP,
+    NON_LITERAL_POINT_ALLOWLIST,
+    SPAN_TAXONOMY,
+    is_exempt_point,
+)
+
+#: Directory scanned when no explicit files are given (relative to root).
+DEFAULT_ROOT = "src/repro"
+
+#: Attribute names whose single-string-literal calls open spans.
+_SPAN_ATTRS = ("enter", "span")
+
+
+def _str_arg(node: ast.Call) -> str | None:
+    """The call's single positional string literal, if that's its shape."""
+    if len(node.args) == 1 and not node.keywords:
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def iter_span_literals(tree: ast.AST):
+    """Yield ``(name, lineno)`` for every literal span-opening call."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_attr = isinstance(func, ast.Attribute) and func.attr in _SPAN_ATTRS
+        is_name = isinstance(func, ast.Name) and func.id == "span"
+        if not (is_attr or is_name):
+            continue
+        name = _str_arg(node)
+        if name is not None:
+            yield name, node.lineno
+
+
+def iter_point_calls(tree: ast.AST):
+    """Yield ``(name_or_None, lineno)`` for every ``point(...)`` call.
+
+    ``None`` marks a non-literal point name (checked against the
+    allowlist by the caller).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_attr = isinstance(func, ast.Attribute) and func.attr == "point"
+        is_name = isinstance(func, ast.Name) and func.id == "point"
+        if not (is_attr or is_name):
+            continue
+        yield _str_arg(node), node.lineno
+
+
+def _string_literals(tree: ast.AST) -> set[str]:
+    """Every string constant in the module (for the used-names check)."""
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def check_source(
+    source: str, filename: str = "<string>", allow_non_literal_points: bool = False
+) -> tuple[list[str], set[str]]:
+    """Failures plus the set of registered span names this file uses."""
+    tree = ast.parse(source, filename=filename)
+    failures: list[str] = []
+    for name, lineno in iter_span_literals(tree):
+        if name not in SPAN_TAXONOMY:
+            failures.append(
+                f"{filename}:{lineno}: span name {name!r} is not registered "
+                "in repro.obs.taxonomy.SPAN_TAXONOMY"
+            )
+    for name, lineno in iter_point_calls(tree):
+        if name is None:
+            if not allow_non_literal_points:
+                failures.append(
+                    f"{filename}:{lineno}: chaos point name is not a string "
+                    "literal; add the file to NON_LITERAL_POINT_ALLOWLIST "
+                    "or use a literal"
+                )
+        elif name not in CHAOS_SPAN_MAP and not is_exempt_point(name):
+            failures.append(
+                f"{filename}:{lineno}: chaos point {name!r} has no covering "
+                "span in CHAOS_SPAN_MAP and matches no exempt prefix"
+            )
+    used = _string_literals(tree) & set(SPAN_TAXONOMY)
+    return failures, used
+
+
+def check_file(path: Path, root: Path | None = None) -> tuple[list[str], set[str]]:
+    rel = path.as_posix()
+    allow = any(rel.endswith(entry) for entry in NON_LITERAL_POINT_ALLOWLIST)
+    return check_source(
+        path.read_text(), filename=str(path), allow_non_literal_points=allow
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(__file__).resolve().parents[3]
+    if args:
+        paths = [Path(a) for a in args]
+    else:
+        paths = sorted((root / DEFAULT_ROOT).rglob("*.py"))
+    taxonomy_file = (root / "src/repro/obs/taxonomy.py").resolve()
+    failures: list[str] = []
+    used: set[str] = set()
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file not found")
+            continue
+        file_failures, file_used = check_file(path)
+        failures.extend(file_failures)
+        # The registry's own literals don't count as usage.
+        if path.resolve() != taxonomy_file:
+            used |= file_used
+    if not args:  # unused check only makes sense over the full tree
+        for name in sorted(set(SPAN_TAXONOMY) - used):
+            failures.append(
+                f"span {name!r} is registered in SPAN_TAXONOMY but no "
+                "scanned source references it"
+            )
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"check_spans: {len(used)}/{len(SPAN_TAXONOMY)} registered spans used, "
+        f"{len(paths)} files clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

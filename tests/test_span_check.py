@@ -1,0 +1,75 @@
+"""Span/chaos-point taxonomy closure (tier-1 gate).
+
+Runs ``python -m repro.tools.check_spans`` programmatically, mirroring
+tests/test_spins.py: an unregistered span literal, an unattributable
+chaos point, or a taxonomy entry no code uses fails the suite.
+"""
+
+from repro.obs.taxonomy import (
+    CHAOS_SPAN_MAP,
+    SPAN_TAXONOMY,
+    is_exempt_point,
+    span_for_point,
+)
+from repro.tools import check_spans
+
+
+def test_repo_taxonomy_is_closed():
+    assert check_spans.main([]) == 0
+
+
+def test_every_chaos_span_target_is_registered():
+    for point, span in CHAOS_SPAN_MAP.items():
+        assert span in SPAN_TAXONOMY, f"{point} maps to unregistered span {span}"
+
+
+def test_span_for_point_and_exemptions():
+    assert span_for_point("spin.acquire") == "retry.backoff"
+    assert span_for_point("planted.gpl.rmw") is None
+    assert is_exempt_point("planted.gpl.rmw")
+    assert not is_exempt_point("spin.acquire")
+
+
+def test_rejects_unregistered_span_literal():
+    src = 'prof.enter("no.such.span")\n'
+    failures, _ = check_spans.check_source(src, filename="synthetic.py")
+    assert len(failures) == 1
+    assert "synthetic.py:1" in failures[0]
+    assert "no.such.span" in failures[0]
+
+
+def test_accepts_registered_span_literal_and_reports_usage():
+    src = 'with prof.span("alt.model_probe"):\n    pass\n'
+    failures, used = check_spans.check_source(src)
+    assert failures == []
+    assert used == {"alt.model_probe"}
+
+
+def test_rejects_unmapped_chaos_point():
+    src = 'chaos.point("gpl.not_a_point")\n'
+    failures, _ = check_spans.check_source(src, filename="synthetic.py")
+    assert len(failures) == 1
+    assert "gpl.not_a_point" in failures[0]
+
+
+def test_planted_points_are_exempt():
+    src = 'chaos.point("planted.gpl.rmw")\n'
+    failures, _ = check_spans.check_source(src)
+    assert failures == []
+
+
+def test_non_literal_point_needs_allowlist():
+    src = "chaos.point(site + '.retry')\n"
+    failures, _ = check_spans.check_source(src, filename="synthetic.py")
+    assert len(failures) == 1
+    assert "NON_LITERAL_POINT_ALLOWLIST" in failures[0]
+    failures, _ = check_spans.check_source(
+        src, filename="synthetic.py", allow_non_literal_points=True
+    )
+    assert failures == []
+
+
+def test_docstrings_and_comments_are_ignored():
+    src = '"""docs mention prof.enter("bogus.span") here."""\n# chaos.point("bogus.point")\n'
+    failures, _ = check_spans.check_source(src)
+    assert failures == []
