@@ -169,6 +169,44 @@ class AdaptiveRadixTree:
         self.mutations += 1
         return self._with_restarts("art.remove", lambda: self._remove(key))
 
+    def bulk_insert(self, keys, values, upsert: bool = False) -> list[bool]:
+        """Insert many **pre-sorted** keys in one pass.
+
+        The batch counts as a single content change: ``mutations`` is
+        bumped once, so cached sorted views of the tree (the batch fast
+        paths' ``items``-based snapshots) are invalidated once instead of
+        per key.  Sorted input keeps successive descents on warm paths —
+        adjacent keys share their root-ward prefix.  Per-key semantics
+        (restart protocol, upsert behaviour, returned flags) are exactly
+        those of :meth:`insert`.
+        """
+        if len(keys) == 0:
+            return []
+        self.mutations += 1
+        out: list[bool] = []
+        for key, value in zip(keys, values):
+            out.append(
+                self._with_restarts(
+                    "art.insert",
+                    lambda k=key, v=value: self._insert(k, v, None, upsert),
+                )
+            )
+        return out
+
+    def bulk_remove(self, keys) -> list[bool]:
+        """Delete many **pre-sorted** keys in one pass.
+
+        Single ``mutations`` bump for the whole batch (see
+        :meth:`bulk_insert`); per-key flags match :meth:`remove`.
+        """
+        if len(keys) == 0:
+            return []
+        self.mutations += 1
+        out: list[bool] = []
+        for key in keys:
+            out.append(self._with_restarts("art.remove", lambda k=key: self._remove(k)))
+        return out
+
     def items(self, lo: int = 0, hi: int = 2**64 - 1) -> list[tuple[int, object]]:
         """Sorted (key, value) pairs with lo <= key <= hi."""
 
@@ -235,7 +273,7 @@ class AdaptiveRadixTree:
 
     def lookup_path_length(self, key: int, from_node=None) -> int:
         """Number of inner nodes visited to locate ``key`` (Fig. 10a)."""
-        depth = 0 if from_node is None else from_node.match_level
+        depth = from_node.match_level if isinstance(from_node, Node) else 0
         node = self._root if from_node is None else from_node
         kb = encode_key(key)
         visited = 0
@@ -288,7 +326,11 @@ class AdaptiveRadixTree:
             depth = 0
         else:
             node = from_node
-            if isinstance(node, Node) and node.lock.is_obsolete:
+            if isinstance(node, Leaf):
+                # A remove-side path-compression merge can leave a fast
+                # pointer aimed at a bare leaf; compare it directly.
+                depth = 0
+            elif node.lock.is_obsolete:
                 # Stale shortcut: caller should repair; fall back to root.
                 node = self._root
                 depth = 0
@@ -370,8 +412,10 @@ class AdaptiveRadixTree:
         kb = encode_key(key)
         trace = active_tracer()
 
-        if from_node is not None and not (
-            isinstance(from_node, Node) and from_node.lock.is_obsolete
+        if (
+            from_node is not None
+            and isinstance(from_node, Node)
+            and not from_node.lock.is_obsolete
         ):
             node = from_node
             depth = node.match_level

@@ -476,6 +476,82 @@ class AlexIndex(OrderedIndex):
             out[j] = nodes[ni].vals[si]
         return out
 
+    def batch_insert(self, keys, values=None) -> np.ndarray:
+        """Batch insert through the flat view where layout allows:
+        existing keys are pure value updates applied via the cached
+        ``(node, slot)`` mapping (no shift, no split, view stays valid);
+        new keys — which may shift slots or split nodes — replay the
+        scalar path afterwards.  Delegates under an active tracer."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = as_value_array(keys, values)
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        if current_tracer() is not None:
+            return BatchIndex.batch_insert(self, keys, values)
+        out = np.zeros(n, dtype=bool)
+        flat_keys, nidx, sidx = self._flat()
+        pos = np.searchsorted(flat_keys, keys)
+        in_range = pos < len(flat_keys)
+        hit = np.zeros(n, dtype=bool)
+        hit[in_range] = flat_keys[pos[in_range]] == keys[in_range]
+        nodes = self._nodes
+        hit_i = np.flatnonzero(hit)
+        if len(hit_i):
+            # Value updates first, in batch order, while (node, slot)
+            # indices are still valid — scalar inserts below may split.
+            hp = pos[hit_i]
+            for i, ni, si in zip(hit_i.tolist(), nidx[hp].tolist(), sidx[hp].tolist()):
+                nodes[ni].vals[si] = values[i]
+        for i in np.flatnonzero(~hit).tolist():
+            out[i] = self.insert(int(keys[i]), values[i])
+        return out
+
+    def batch_remove(self, keys) -> np.ndarray:
+        """Batch remove through the flat view: present keys clear their
+        ``(node, slot)`` entry directly (a remove never shifts or
+        splits); later duplicate occurrences replay the scalar path.
+        Delegates under an active tracer."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        if current_tracer() is not None:
+            return BatchIndex.batch_remove(self, keys)
+        out = np.zeros(n, dtype=bool)
+        vec = np.ones(n, dtype=bool)
+        dup_idx: list[int] = []
+        uniq, first_pos = np.unique(keys, return_index=True)
+        if len(uniq) != n:
+            firsts = np.zeros(n, dtype=bool)
+            firsts[first_pos] = True
+            dup_idx = np.flatnonzero(~firsts).tolist()
+            vec[dup_idx] = False
+        flat_keys, nidx, sidx = self._flat()
+        pos = np.searchsorted(flat_keys, keys)
+        in_range = pos < len(flat_keys)
+        hit = np.zeros(n, dtype=bool)
+        hit[in_range] = flat_keys[pos[in_range]] == keys[in_range]
+        hit &= vec
+        nodes = self._nodes
+        removed = 0
+        hit_i = np.flatnonzero(hit)
+        if len(hit_i):
+            hp = pos[hit_i]
+            for i, ni, si in zip(hit_i.tolist(), nidx[hp].tolist(), sidx[hp].tolist()):
+                node = nodes[ni]
+                node.occ[si] = False  # key value stays behind as a gap copy
+                node.vals[si] = None
+                node.num_keys -= 1
+                node._occ_view = None
+                out[i] = True
+                removed += 1
+        if removed:
+            self._bump(-removed)
+        for i in dup_idx:
+            out[i] = self.remove(int(keys[i]))
+        return out
+
     def scan(self, lo: int, count: int) -> list[tuple[int, object]]:
         i = max(
             int(np.searchsorted(self._first_keys, np.uint64(lo), side="right")) - 1, 0

@@ -190,6 +190,83 @@ class BPlusTreeIndex(OrderedIndex):
             out[j] = leaves[li].values[si]
         return out
 
+    def batch_insert(self, keys, values=None) -> np.ndarray:
+        """Vectorized insert: keys already present resolve through the
+        flat leaf-chain view and become in-place value updates; only the
+        genuinely new keys take the per-key descent (which may split
+        leaves).  Updates are applied before the scalar misses so the
+        ``(leaf, slot)`` coordinates stay valid.  Delegates to the
+        per-key loop under an active tracer."""
+        if current_tracer() is not None:
+            return BatchIndex.batch_insert(self, keys, values)
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = as_value_array(keys, values)
+        n = len(keys)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        flat_keys, lidx, sidx, leaves = self._flat()
+        if len(flat_keys):
+            pos = np.searchsorted(flat_keys, keys)
+            np.clip(pos, 0, len(flat_keys) - 1, out=pos)
+            hit = flat_keys[pos] == keys
+        else:
+            hit = np.zeros(n, dtype=bool)
+        hit_i = np.flatnonzero(hit)
+        if len(hit_i):
+            hp = pos[hit_i]
+            with self._lock:
+                for j, li, si in zip(hit_i.tolist(), lidx[hp].tolist(), sidx[hp].tolist()):
+                    leaves[li].values[si] = values[j]
+        for j in np.flatnonzero(~hit).tolist():
+            out[j] = self.insert(int(keys[j]), values[j])
+        return out
+
+    def batch_remove(self, keys) -> np.ndarray:
+        """Vectorized remove: present keys are located with one
+        ``searchsorted`` and deleted straight from their leaves (per
+        leaf, in descending slot order so earlier deletions don't shift
+        later slots); misses return False without a descent.  Duplicate
+        keys in the batch replay through the scalar path so only the
+        first occurrence succeeds."""
+        if current_tracer() is not None:
+            return BatchIndex.batch_remove(self, keys)
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        _, first = np.unique(keys, return_index=True)
+        vec = np.zeros(n, dtype=bool)
+        vec[first] = True
+        dup_idx = np.flatnonzero(~vec)
+        flat_keys, lidx, sidx, leaves = self._flat()
+        if len(flat_keys):
+            pos = np.searchsorted(flat_keys, keys)
+            np.clip(pos, 0, len(flat_keys) - 1, out=pos)
+            hit = (flat_keys[pos] == keys) & vec
+        else:
+            hit = np.zeros(n, dtype=bool)
+        hit_i = np.flatnonzero(hit)
+        if len(hit_i):
+            hp = pos[hit_i]
+            per_leaf: dict[int, list[int]] = {}
+            for li, si in zip(lidx[hp].tolist(), sidx[hp].tolist()):
+                per_leaf.setdefault(li, []).append(si)
+            with self._lock:
+                for li, slots in per_leaf.items():
+                    leaf = leaves[li]
+                    for si in sorted(slots, reverse=True):
+                        del leaf.keys[si]
+                        del leaf.values[si]
+                    leaf._np_keys = None
+                self._size -= len(hit_i)
+                self._mutations += 1
+            out[hit_i] = True
+        for j in dup_idx.tolist():
+            out[j] = self.remove(int(keys[j]))
+        return out
+
     def insert(self, key: int, value) -> bool:
         prof = current_profile()
         if prof is not None:

@@ -25,7 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.rmi import TwoStageRMI, _LinearModel
-from repro.common import OrderedIndex, as_value_array, unique_tag
+from repro.common import BatchIndex, OrderedIndex, as_value_array, unique_tag
 from repro.concurrency.version_lock import OptimisticLock, RestartException
 from repro.obs.spans import current_profile
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
@@ -251,6 +251,11 @@ class XIndex(OrderedIndex):
         self._pivots = np.empty(0, dtype=np.uint64)
         self._size = 0
         self._size_lock = threading.Lock()
+        # Structural-change stamp for the batch fast path's flat view:
+        # bumped when a buffer entry appears/disappears or a group
+        # compacts (value updates and deleted-set changes are read live).
+        self._mutations = 0
+        self._flat_view: tuple[np.ndarray, np.ndarray, np.ndarray, int] | None = None
 
     @classmethod
     def bulk_load(
@@ -316,6 +321,78 @@ class XIndex(OrderedIndex):
             except RestartException:
                 continue
 
+    def _flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Sorted flat view of every group's data array *and* delta
+        buffer: ``(keys, group_idx, slot_idx)`` plus the stamp it was
+        built at.  Buffer entries encode their position ``b`` as
+        ``-(b + 1)`` so one array distinguishes the two stores; values
+        and the per-group deleted sets are read live through these
+        indices, so only structural changes (tracked by
+        ``self._mutations``) force a rebuild.
+        """
+        view = self._flat_view
+        if view is None or view[3] != self._mutations:
+            parts_k: list[np.ndarray] = []
+            parts_g: list[np.ndarray] = []
+            parts_s: list[np.ndarray] = []
+            for gi, g in enumerate(self._groups):
+                if len(g.keys):
+                    parts_k.append(g.keys)
+                    parts_g.append(np.full(len(g.keys), gi, dtype=np.int64))
+                    parts_s.append(np.arange(len(g.keys), dtype=np.int64))
+                if g.buf_keys:
+                    parts_k.append(np.array(g.buf_keys, dtype=np.uint64))
+                    parts_g.append(np.full(len(g.buf_keys), gi, dtype=np.int64))
+                    parts_s.append(-np.arange(1, len(g.buf_keys) + 1, dtype=np.int64))
+            if parts_k:
+                flat = np.concatenate(parts_k)
+                gidx = np.concatenate(parts_g)
+                sidx = np.concatenate(parts_s)
+                order = np.argsort(flat, kind="stable")
+                flat, gidx, sidx = flat[order], gidx[order], sidx[order]
+            else:
+                flat = np.empty(0, dtype=np.uint64)
+                gidx = np.empty(0, dtype=np.int64)
+                sidx = np.empty(0, dtype=np.int64)
+            view = (flat, gidx, sidx, self._mutations)
+            self._flat_view = view
+        return view
+
+    def batch_get(self, keys) -> list:
+        """Vectorized lookup: one ``searchsorted`` over the flat view of
+        group arrays and delta buffers resolves the whole batch (the
+        RMI's ``position_for`` group locate is subsumed — a key is only
+        ever stored in the group it routes to).  Delegates to the scalar
+        loop under an active tracer (trace equivalence).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return []
+        if current_tracer() is not None:
+            return BatchIndex.batch_get(self, keys)
+        flat, gidx, sidx, _ = self._flat()
+        pos = np.searchsorted(flat, keys)
+        in_range = pos < len(flat)
+        hit = np.zeros(n, dtype=bool)
+        hit[in_range] = flat[pos[in_range]] == keys[in_range]
+        out: list = [None] * n
+        groups = self._groups
+        keys_l = keys.tolist()
+        hit_i = np.flatnonzero(hit)
+        if len(hit_i):
+            hp = pos[hit_i]
+            hg = gidx[hp]
+            hs = sidx[hp]
+            for i, gi, s in zip(hit_i.tolist(), hg.tolist(), hs.tolist()):
+                g = groups[gi]
+                if s >= 0:
+                    if keys_l[i] not in g.deleted:
+                        out[i] = g.values[s]
+                else:
+                    out[i] = g.buf_values[-s - 1]
+        return out
+
     def insert(self, key: int, value) -> bool:
         prof = current_profile()
         while True:
@@ -343,8 +420,11 @@ class XIndex(OrderedIndex):
                 if prof is not None:
                     prof.enter("xindex.buffer")
                 new = group.buffer_insert(key, value)
+                if new:
+                    self._mutations += 1
                 if len(group.buf_keys) >= self.buffer_threshold:
                     group.compact()
+                    self._mutations += 1
                 if prof is not None:
                     prof.exit()
                 if new:
@@ -380,6 +460,7 @@ class XIndex(OrderedIndex):
                     if j >= 0:
                         del group.buf_keys[j]
                         del group.buf_values[j]
+                        self._mutations += 1
                         self._bump(-1)
                         return True
                     return False

@@ -15,6 +15,7 @@ reproduction is split this way.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 
@@ -145,7 +146,11 @@ def trace_ops_batched(
     totals as the equivalent per-key loops (see
     :class:`repro.common.BatchIndex`), the summed counts over a workload
     equal the scalar run's — only the trace granularity changes (one
-    trace per batch instead of per op).
+    trace per batch instead of per op).  Read and insert batch traces
+    are stamped with ``batch_n`` so the simulator prices them with the
+    calibrated per-batch amortization
+    (:meth:`repro.sim.cost_model.CostModel.batch_factor`) instead of the
+    scalar-loop sum; scans stay per-op and per-op priced.
     """
     traces: list[CostTrace] = []
     prof = current_profile()
@@ -156,9 +161,11 @@ def trace_ops_batched(
             try:
                 if kind == "read":
                     index.batch_get(np.array([op.key for op in group], dtype=np.uint64))
+                    t.batch_n = len(group)
                 elif kind == "insert":
                     ks = np.array([op.key for op in group], dtype=np.uint64)
                     index.batch_insert(ks, [op.key for op in group])
+                    t.batch_n = len(group)
                 else:
                     for op in group:  # scans stay per-op: results vary per cursor
                         index.scan(op.key, op.length)
@@ -271,16 +278,25 @@ def batch_microbenchmark(
     probe = rng.choice(keys, size=lookups, replace=True).astype(np.uint64)
 
     index.batch_get(probe[:batch_size])  # warm caches and snapshots
-    start = time.perf_counter()
-    batch_results: list = []
-    for i in range(0, len(probe), batch_size):
-        batch_results.extend(index.batch_get(probe[i : i + batch_size]))
-    batch_seconds = time.perf_counter() - start
+    # GC off around the timed loops (as timeit does) so mid-loop cyclic
+    # collections don't charge a caller-dependent tax to either side.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        batch_results: list = []
+        for i in range(0, len(probe), batch_size):
+            batch_results.extend(index.batch_get(probe[i : i + batch_size]))
+        batch_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    get = index.get
-    scalar_results = [get(int(k)) for k in probe]
-    scalar_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        get = index.get
+        scalar_results = [get(int(k)) for k in probe]
+        scalar_seconds = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     if verify:
         if scalar_results != batch_results:
@@ -305,6 +321,137 @@ def batch_microbenchmark(
         "speedup": round(scalar_seconds / batch_seconds, 2),
         "build_s": round(build_seconds, 2),
     }
+
+
+def batch_write_microbenchmark(
+    index_cls,
+    dataset_name: str = "lognormal",
+    n: int = 1_000_000,
+    batch_size: int = 1024,
+    writes: int = 102_400,
+    seed: int = 0,
+    op: str = "insert",
+    verify: bool = True,
+) -> dict:
+    """Wall-clock scalar-vs-batch write comparison (one row).
+
+    ``op="insert"``: bulk-load two identical indexes on half the
+    dataset, then apply the same ``writes`` pending keys to one through
+    the per-key ``insert`` loop and to the other through
+    ``batch_insert`` chunks of ``batch_size``.  ``op="remove"`` loads
+    both on the full dataset and removes the sampled keys instead.
+    With ``verify`` (default), asserts the per-key success flags match
+    and spot-checks lookups on both indexes afterwards.
+    """
+    if op not in ("insert", "remove"):
+        raise ValueError(f"op must be 'insert' or 'remove', got {op!r}")
+    from repro.datasets.generators import dataset
+
+    keys = dataset(dataset_name, n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    if op == "insert":
+        load = keys[::2]
+        pending = keys[1::2].copy()
+        rng.shuffle(pending)
+        pending = pending[:writes]
+    else:
+        load = keys
+        pending = rng.choice(keys, size=writes, replace=False).astype(np.uint64)
+
+    start = time.perf_counter()
+    scalar_idx = index_cls.bulk_load(load)
+    batch_idx = index_cls.bulk_load(load)
+    build_seconds = time.perf_counter() - start
+
+    # Disable GC around both timed loops (as timeit does): cyclic
+    # collections triggered mid-loop scan the whole process heap and
+    # would charge an arbitrary caller-dependent tax to either side.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        if op == "insert":
+            ins = scalar_idx.insert
+            scalar_flags = [ins(int(k), int(k)) for k in pending]
+        else:
+            rem = scalar_idx.remove
+            scalar_flags = [rem(int(k)) for k in pending]
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch_flags: list = []
+        for i in range(0, len(pending), batch_size):
+            chunk = pending[i : i + batch_size]
+            if op == "insert":
+                flags = batch_idx.batch_insert(chunk, [int(k) for k in chunk])
+            else:
+                flags = batch_idx.batch_remove(chunk)
+            batch_flags.extend(bool(f) for f in flags)
+        batch_seconds = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if verify:
+        if scalar_flags != batch_flags:
+            raise AssertionError(f"batch_{op} flags diverge from per-key loop")
+        if len(scalar_idx) != len(batch_idx):
+            raise AssertionError("index sizes diverge after batch writes")
+        sample = rng.choice(pending, size=min(2048, len(pending)), replace=False)
+        sg = [scalar_idx.get(int(k)) for k in sample]
+        bg = batch_idx.batch_get(sample.astype(np.uint64))
+        if sg != bg:
+            raise AssertionError(f"lookups diverge after batch_{op}")
+
+    return {
+        "index": index_cls.NAME,
+        "dataset": dataset_name,
+        "op": op,
+        "n_keys": n,
+        "batch": batch_size,
+        "scalar_us_op": round(scalar_seconds / len(pending) * 1e6, 3),
+        "batch_us_op": round(batch_seconds / len(pending) * 1e6, 3),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "build_s": round(build_seconds, 2),
+    }
+
+
+def calibrate_batch_cost(
+    index_cls,
+    dataset_name: str = "lognormal",
+    n: int = 200_000,
+    lookups: int = 40_960,
+    seed: int = 0,
+    batch_sizes: tuple[int, ...] = (8, 32, 128, 512, 1024),
+) -> dict:
+    """Fit the simulator's batch amortization from wall-clock rows.
+
+    Runs :func:`batch_microbenchmark` at each batch size and feeds the
+    ``(batch, scalar_us_op, batch_us_op)`` rows to
+    :func:`repro.sim.cost_model.fit_batch_cost`.  The returned
+    ``discount``/``halfwidth`` are what the
+    :class:`~repro.sim.cost_model.CostModel` defaults were fit from; see
+    docs/BENCHMARKS.md for the recorded values.
+    """
+    from repro.sim.cost_model import fit_batch_cost
+
+    rows = [
+        batch_microbenchmark(
+            index_cls,
+            dataset_name=dataset_name,
+            n=n,
+            batch_size=b,
+            lookups=lookups,
+            seed=seed,
+            verify=False,
+        )
+        for b in batch_sizes
+    ]
+    discount, halfwidth = fit_batch_cost(
+        [(r["batch"], r["scalar_us_op"], r["batch_us_op"]) for r in rows]
+    )
+    return {"rows": rows, "discount": discount, "halfwidth": halfwidth}
 
 
 def run_observed_experiment(
@@ -393,6 +540,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=1_000_000, help="dataset size in keys")
     parser.add_argument("--batch-size", type=int, default=1024)
     parser.add_argument("--lookups", type=int, default=102_400)
+    parser.add_argument(
+        "--op",
+        choices=("get", "insert", "remove"),
+        default="get",
+        help="which batch path to microbenchmark (default: get)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="sweep batch sizes and fit the simulator's batch "
+        "amortization constants (discount/halfwidth)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--threads", type=int, default=32)
     parser.add_argument("--ops", type=int, default=20_000, help="workload ops to trace")
@@ -454,19 +613,49 @@ def main(argv: list[str] | None = None) -> int:
             print(f"timeline -> {args.emit_timeline} ({len(recorder.events)} events)")
         return 0
 
+    if args.calibrate:
+        cls = factories[args.index[0] if args.index else "ALT-index"]
+        fit = calibrate_batch_cost(
+            cls,
+            dataset_name=args.dataset,
+            n=args.n,
+            lookups=args.lookups,
+            seed=args.seed,
+        )
+        print(format_table(fit["rows"]))
+        print(
+            f"fit: batch_compute_discount={fit['discount']} "
+            f"batch_halfwidth={fit['halfwidth']}"
+        )
+        return 0
+
     rows = []
     for name in args.index or ["ALT-index"]:
-        rows.append(
-            batch_microbenchmark(
-                factories[name],
-                dataset_name=args.dataset,
-                n=args.n,
-                batch_size=args.batch_size,
-                lookups=args.lookups,
-                seed=args.seed,
-                verify=not args.no_verify,
+        if args.op == "get":
+            rows.append(
+                batch_microbenchmark(
+                    factories[name],
+                    dataset_name=args.dataset,
+                    n=args.n,
+                    batch_size=args.batch_size,
+                    lookups=args.lookups,
+                    seed=args.seed,
+                    verify=not args.no_verify,
+                )
             )
-        )
+        else:
+            rows.append(
+                batch_write_microbenchmark(
+                    factories[name],
+                    dataset_name=args.dataset,
+                    n=args.n,
+                    batch_size=args.batch_size,
+                    writes=args.lookups,
+                    seed=args.seed,
+                    op=args.op,
+                    verify=not args.no_verify,
+                )
+            )
     print(format_table(rows))
 
     if args.workload is not None:

@@ -294,11 +294,10 @@ class ALTIndex(OrderedIndex):
             return []
         if current_tracer() is not None or not self._layer.models:
             return BatchIndex.batch_get(self, keys)
-        snap = self._layer.snapshot()
-        midx, slots, state, resident = snap.probe(keys)
+        midx, slots, _, state, resident = self._layer.probe_live(keys)
         hit = (state == FULL) & (resident == keys)
         out: list = [None] * n
-        models = snap.models
+        models = self._layer.models
         mi_l = midx.tolist()
         sl_l = slots.tolist()
         if bool(hit.all()):
@@ -352,6 +351,223 @@ class ALTIndex(OrderedIndex):
                 if live_state != FULL and self._art.remove(keys_l[i]):
                     model.write_slot(sl_l[i], keys_l[i], value)
                     self.writebacks += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch insert / remove (vectorized Algorithm 2, write path)
+    # ------------------------------------------------------------------
+    def batch_insert(self, keys, values=None) -> np.ndarray:
+        """Vectorized insert: one learned-layer probe predicts every slot,
+        free slots are filled columnwise, and conflict keys are routed to
+        the ART-OPT layer in one sorted pass (``AdaptiveRadixTree.bulk_insert``).
+
+        Equivalent to the scalar insert loop — flags, values, counters and
+        the one-home invariant all match — and delegates to exactly that
+        loop under an active tracer so CostTrace totals stay identical.
+        The span guard (``current_profile``) is fetched once per batch,
+        not per key; spans are entered at batch-phase granularity.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = as_value_array(keys, values)
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        if current_tracer() is not None or not self._layer.models:
+            return BatchIndex.batch_insert(self, keys, values)
+        prof = current_profile()  # fetched once per batch
+        out = np.zeros(n, dtype=bool)
+
+        # Later occurrences of a duplicate key are value updates whose
+        # target (slot vs ART) only the live structures know; they replay
+        # through the scalar path after the batch, preserving per-key
+        # order (first occurrence inserts, later ones update).
+        vec_mask = np.ones(n, dtype=bool)
+        dup_idx: list[int] = []
+        uniq, first_pos = np.unique(keys, return_index=True)
+        if len(uniq) != n:
+            firsts = np.zeros(n, dtype=bool)
+            firsts[first_pos] = True
+            dup_idx = np.flatnonzero(~firsts).tolist()
+            vec_mask[dup_idx] = False
+
+        if prof is not None:
+            prof.enter("alt.batch_probe")
+        midx, slots, flat, state, resident = self._layer.probe_live(keys)
+        if prof is not None:
+            prof.exit()
+        models = self._layer.models
+
+        # Models whose expansion could engage during this batch keep the
+        # scalar path: the retrain trigger is re-checked before every
+        # scalar insert, so the fast path only handles models where no
+        # key of this batch can flip it.
+        unsafe: set[int] = set()
+        if self._retraining:
+            routed = np.bincount(midx, minlength=len(models))
+            for mi in np.flatnonzero(routed).tolist():
+                m = models[mi]
+                if m.expansion is not None or (
+                    m.insert_count + int(routed[mi]) > max(m.build_size, 1)
+                ):
+                    unsafe.add(mi)
+
+        keys_l = keys.tolist()
+        mi_l = midx.tolist()
+        sl_l = slots.tolist()
+        st_l = state.tolist()
+        res_l = resident.tolist()
+        flat_l = flat.tolist()
+
+        empty_is: list[int] = []  # EMPTY slot -> columnwise placement
+        upsert_is: list[int] = []  # FULL, same key -> in-place value write
+        conflict_is: list[int] = []  # FULL, other key -> ART (+insert_count)
+        tomb_is: list[int] = []  # TOMBSTONE -> ART (one-home invariant)
+        scalar_is: list[int] = []  # unsafe models -> scalar replay
+        claimed: set[int] = set()  # flat slots won earlier in this batch
+        for i in np.flatnonzero(vec_mask).tolist():
+            if mi_l[i] in unsafe:
+                scalar_is.append(i)
+            elif st_l[i] == FULL:
+                if res_l[i] == keys_l[i]:
+                    upsert_is.append(i)
+                else:
+                    conflict_is.append(i)
+            elif st_l[i] == TOMBSTONE:
+                tomb_is.append(i)
+            else:  # EMPTY: first key predicted to a slot wins it, the
+                # rest see it FULL — exactly the scalar order.
+                f = flat_l[i]
+                if f in claimed:
+                    conflict_is.append(i)
+                else:
+                    claimed.add(f)
+                    empty_is.append(i)
+
+        new_count = 0
+        if empty_is or upsert_is:
+            if prof is not None:
+                prof.enter("alt.batch_place")
+            for i in empty_is:
+                model = models[mi_l[i]]
+                k = keys_l[i]
+                model.write_slot(sl_l[i], k, values[i])
+                if k > model.last_key:
+                    model.last_key = k
+                model.insert_count += 1
+                out[i] = True
+                new_count += 1
+            for i in upsert_is:
+                models[mi_l[i]].write_slot(sl_l[i], keys_l[i], values[i])
+            if prof is not None:
+                prof.exit()
+
+        route_is = conflict_is + tomb_is
+        if route_is:
+            # Batched conflict routing: group the overflow keys, sort
+            # them, and repatriate to the ART in one pass.
+            route_is.sort(key=keys_l.__getitem__)
+            if prof is not None:
+                prof.enter("alt.batch_conflict")
+            flags = self._art.bulk_insert(
+                [keys_l[i] for i in route_is],
+                [values[i] for i in route_is],
+                upsert=True,
+            )
+            if prof is not None:
+                prof.exit()
+            for j, i in enumerate(route_is):
+                if flags[j]:
+                    out[i] = True
+                    new_count += 1
+            self.conflict_inserts += len(route_is)
+            obs_metrics.inc("alt.conflict_inserts", len(route_is))
+            for i in conflict_is:
+                models[mi_l[i]].insert_count += 1
+
+        if new_count:
+            self._bump(new_count)
+        obs_metrics.inc("alt.batch_inserts")
+        for i in scalar_is:
+            out[i] = self.insert(keys_l[i], values[i])
+        for i in dup_idx:
+            out[i] = self.insert(keys_l[i], values[i])
+        return out
+
+    def batch_remove(self, keys) -> np.ndarray:
+        """Vectorized remove: columnwise tombstoning of learned-resident
+        keys plus one sorted ``AdaptiveRadixTree.bulk_remove`` pass for
+        the rest.  Tombstone/recovery semantics are the scalar ones —
+        cleared slots become tombstones, so the Algorithm-2 write-back
+        and the remove-then-reinsert ART detour still apply.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        if current_tracer() is not None or not self._layer.models:
+            return BatchIndex.batch_remove(self, keys)
+        prof = current_profile()  # fetched once per batch
+        out = np.zeros(n, dtype=bool)
+        vec_mask = np.ones(n, dtype=bool)
+        dup_idx: list[int] = []
+        uniq, first_pos = np.unique(keys, return_index=True)
+        if len(uniq) != n:
+            firsts = np.zeros(n, dtype=bool)
+            firsts[first_pos] = True
+            dup_idx = np.flatnonzero(~firsts).tolist()
+            vec_mask[dup_idx] = False
+
+        if prof is not None:
+            prof.enter("alt.batch_probe")
+        midx, slots, _, state, resident = self._layer.probe_live(keys)
+        if prof is not None:
+            prof.exit()
+        models = self._layer.models
+
+        keys_l = keys.tolist()
+        mi_l = midx.tolist()
+        sl_l = slots.tolist()
+        st_l = state.tolist()
+        res_l = resident.tolist()
+        clear_is: list[int] = []  # FULL, same key -> tombstone the slot
+        art_is: list[int] = []  # everything else -> batched ART removal
+        scalar_is: list[int] = []  # models under expansion -> scalar
+        for i in np.flatnonzero(vec_mask).tolist():
+            if models[mi_l[i]].expansion is not None:
+                scalar_is.append(i)
+            elif st_l[i] == FULL and res_l[i] == keys_l[i]:
+                clear_is.append(i)
+            else:
+                art_is.append(i)
+
+        removed = 0
+        if clear_is:
+            if prof is not None:
+                prof.enter("alt.batch_place")
+            for i in clear_is:
+                models[mi_l[i]].clear_slot(sl_l[i], tombstone=True)
+                out[i] = True
+                removed += 1
+            if prof is not None:
+                prof.exit()
+        if art_is:
+            art_is.sort(key=keys_l.__getitem__)
+            if prof is not None:
+                prof.enter("alt.batch_conflict")
+            flags = self._art.bulk_remove([keys_l[i] for i in art_is])
+            if prof is not None:
+                prof.exit()
+            for j, i in enumerate(art_is):
+                if flags[j]:
+                    out[i] = True
+                    removed += 1
+        if removed:
+            self._bump(-removed)
+        obs_metrics.inc("alt.batch_removes")
+        for i in scalar_is:
+            out[i] = self.remove(keys_l[i])
+        for i in dup_idx:
+            out[i] = self.remove(keys_l[i])
         return out
 
     # ------------------------------------------------------------------

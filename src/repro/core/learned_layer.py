@@ -376,6 +376,7 @@ class LearnedLayer:
         self._version = 0
         self._snapshot: LayerSnapshot | None = None
         self._snapshot_stamp: tuple[int, int] | None = None
+        self._geo_cache: tuple | None = None
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -448,6 +449,59 @@ class LearnedLayer:
             self._snapshot = LayerSnapshot(self)
             self._snapshot_stamp = stamp
         return self._snapshot
+
+    def _geometry(self) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-model ``(version, slopes, n_slots, offsets)`` arrays.
+
+        Cached per structural version: slot writes never change model
+        geometry, so — unlike :meth:`snapshot` — a mutating batch does
+        not invalidate this cache.
+        """
+        geo = self._geo_cache
+        if geo is None or geo[0] != self._version:
+            n_slots = np.array([m.n_slots for m in self.models], dtype=np.int64)
+            slopes = np.array([m.slope_eff for m in self.models], dtype=np.float64)
+            offsets = np.zeros(len(self.models), dtype=np.int64)
+            if len(self.models) > 1:
+                np.cumsum(n_slots[:-1], out=offsets[1:])
+            geo = self._geo_cache = (self._version, slopes, n_slots, offsets)
+        return geo
+
+    def probe_live(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized Algorithm-2 probe against the *live* slot mirrors.
+
+        Same semantics as :meth:`LayerSnapshot.probe` plus a flat slot
+        id, but state/resident are gathered per touched model straight
+        from ``np_state``/``np_keys`` — O(batch + touched models) with
+        no snapshot rebuild, which is what keeps mutating batch ops
+        (``batch_insert``/``batch_remove``) profitable: every slot
+        write would otherwise invalidate the O(total slots) snapshot.
+
+        Returns ``(model_idx, slot, flat_slot, state, resident_key)``.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        _, slopes, n_slots, offsets = self._geometry()
+        fks = self._first_keys
+        midx = np.searchsorted(fks, keys, side="right").astype(np.int64) - 1
+        np.clip(midx, 0, None, out=midx)
+        fk = fks[midx]
+        rel = keys - fk  # exact uint64 subtraction, as slot_of() does
+        rel[keys < fk] = 0  # keys left of model 0 clamp to slot 0
+        slots = (slopes[midx] * rel.astype(np.float64)).astype(np.int64)
+        np.clip(slots, 0, n_slots[midx] - 1, out=slots)
+        state = np.empty(len(keys), dtype=np.uint8)
+        resident = np.empty(len(keys), dtype=np.uint64)
+        order = np.argsort(midx, kind="stable")
+        sorted_mi = midx[order]
+        bounds = np.flatnonzero(sorted_mi[1:] != sorted_mi[:-1]) + 1
+        for grp in np.split(order, bounds):
+            m = self.models[int(midx[grp[0]])]
+            sl = slots[grp]
+            state[grp] = m.np_state[sl]
+            resident[grp] = m.np_keys[sl]
+        return midx, slots, offsets[midx] + slots, state, resident
 
     # -- routing (the "upper model") -----------------------------------------
     def route(self, key: int) -> tuple[int, GPLModel]:

@@ -38,6 +38,10 @@ SPAN_TAXONOMY: dict[str, str] = {
     "alt.retrain": "expansion/retrain pipeline: absorb, rebuild, swap",
     "alt.writeback": "repatriating ART-resident keys into fresh GPL slots",
     "alt.recover": "stuck-slot recovery: salvage, tombstone, repatriate",
+    # -- ALT-index batch write path (vectorized Algorithm 2) -------------
+    "alt.batch_probe": "whole-batch learned-layer probe: snapshot searchsorted + slot predict",
+    "alt.batch_place": "columnwise placement/clearing of batch keys in GPL slots",
+    "alt.batch_conflict": "batched conflict routing: sorted one-pass ART bulk insert/remove",
     # -- shared concurrency machinery ------------------------------------
     "retry.backoff": "bounded-retry spin/backoff while a protocol step is contended",
     "retry.fallback": "pessimistic fallback after the optimistic budget is spent",

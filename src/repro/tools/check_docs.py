@@ -1,12 +1,16 @@
 """Doc-link checker: every ``repro.*`` name in the docs must exist.
 
 Scans the given markdown files (default: ``docs/API.md``,
-``docs/ARCHITECTURE.md``, ``README.md``) for backticked dotted names
-under the ``repro`` package — ``` `repro.core.alt_index.ALTIndex` ``` —
-and resolves each one by importing the longest importable module prefix
-and walking the remaining attributes with :func:`getattr`.  A name that
-fails to resolve is a documentation bug (stale rename, typo, removed
-API); the checker exits non-zero and lists every failure.
+``docs/ARCHITECTURE.md``, ``docs/BENCHMARKS.md``, ``README.md``) for
+backticked dotted names under the ``repro`` package —
+``` `repro.core.alt_index.ALTIndex` ``` — and resolves each one by
+importing the longest importable module prefix and walking the
+remaining attributes with :func:`getattr`.  It also extracts every
+``python -m repro.…`` invocation inside fenced code blocks and verifies
+the named module is importable, so documented CLI recipes cannot go
+stale.  A name that fails to resolve is a documentation bug (stale
+rename, typo, removed API); the checker exits non-zero and lists every
+failure.
 
 Usage::
 
@@ -18,6 +22,7 @@ Wired into tier-1 via ``tests/test_docs.py``.
 from __future__ import annotations
 
 import importlib
+import importlib.util
 import re
 import sys
 from pathlib import Path
@@ -26,9 +31,16 @@ from pathlib import Path
 #: (call syntax) and a leading ``python -m `` are tolerated and stripped.
 _NAME_RE = re.compile(r"`(?:python -m )?(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)(?:\(\))?`")
 
+#: Fenced code block (``` ... ```), language tag ignored.
+_FENCE_RE = re.compile(r"^```[^\n]*\n(.*?)^```", re.M | re.S)
+
+#: ``python -m repro.x.y`` CLI invocation inside a fenced block.
+_CLI_RE = re.compile(r"python\s+-m\s+(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)")
+
 DEFAULT_FILES = (
     "docs/API.md",
     "docs/ARCHITECTURE.md",
+    "docs/BENCHMARKS.md",
     "docs/OBSERVABILITY.md",
     "README.md",
 )
@@ -37,6 +49,22 @@ DEFAULT_FILES = (
 def extract_names(text: str) -> list[str]:
     """All distinct ``repro.*`` dotted names referenced in ``text``."""
     return sorted(set(_NAME_RE.findall(text)))
+
+
+def extract_cli_modules(text: str) -> list[str]:
+    """Distinct ``python -m repro.*`` modules in fenced code blocks."""
+    mods: set[str] = set()
+    for block in _FENCE_RE.findall(text):
+        mods.update(_CLI_RE.findall(block))
+    return sorted(mods)
+
+
+def check_cli_module(module: str) -> bool:
+    """True when ``python -m <module>`` names an importable module."""
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
 
 
 def resolve(name: str) -> object:
@@ -64,11 +92,17 @@ def resolve(name: str) -> object:
 def check_file(path: Path) -> list[str]:
     """Return human-readable failure lines for one markdown file."""
     failures: list[str] = []
-    for name in extract_names(path.read_text()):
+    text = path.read_text()
+    for name in extract_names(text):
         try:
             resolve(name)
         except (ImportError, AttributeError) as exc:
             failures.append(f"{path}: `{name}` does not resolve ({exc})")
+    for module in extract_cli_modules(text):
+        if not check_cli_module(module):
+            failures.append(
+                f"{path}: `python -m {module}` names no importable module"
+            )
     return failures
 
 
@@ -82,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         if not path.exists():
             failures.append(f"{path}: file not found")
             continue
-        checked += len(extract_names(path.read_text()))
+        text = path.read_text()
+        checked += len(extract_names(text)) + len(extract_cli_modules(text))
         failures.extend(check_file(path))
     if failures:
         print("\n".join(failures), file=sys.stderr)

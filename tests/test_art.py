@@ -292,6 +292,30 @@ class TestMidTreeEntry:
             short = tree.lookup_path_length(k, from_node=anc)
             assert short <= full
 
+    def test_leaf_entry_after_merge_collapse(self, tree):
+        """Removing a sibling can path-compression-merge a Node4 into
+        its only remaining child — possibly a bare Leaf — and the
+        replace notification re-aims fast pointers at it.  Mid-tree
+        entry must then work from a Leaf: search compares it directly,
+        insert falls back to a root descent."""
+        replacements = []
+        tree.add_replace_listener(lambda old, new: replacements.append((old, new)))
+        # A pair diverging in the last byte under a root split: the
+        # pair's Node4 has a parent, so removing one sibling merges it
+        # into the surviving leaf.
+        tree.insert(0x0102030405060701, "a")
+        tree.insert(0x0102030405060702, "b")
+        tree.insert(0x0202030405060701, "c")
+        assert tree.remove(0x0102030405060701)
+        leaves = [new for _, new in replacements if isinstance(new, Leaf)]
+        assert leaves, "merge did not collapse to a leaf"
+        leaf = leaves[-1]
+        assert tree.search(0x0102030405060702, from_node=leaf) == "b"
+        assert tree.search(0x0102030405060701, from_node=leaf) is None
+        assert tree.lookup_path_length(0x0102030405060702, from_node=leaf) == 0
+        assert tree.insert(0x0102030405060703, "d", from_node=leaf)
+        assert tree.search(0x0102030405060703) == "d"
+
     def test_obsolete_entry_falls_back_to_root(self, tree):
         for k in range(300):
             tree.insert(k * 1000, k)

@@ -180,6 +180,40 @@ class TestTraceEquivalence:
             b.batch_insert(keys, [int(k) for k in keys])
         assert tb.scalars() == ts.scalars()
 
+    def test_batch_remove_trace_totals(self, sorted_keys):
+        half, rest = sorted_keys[::2].copy(), sorted_keys[1::2]
+        a = ALTIndex.bulk_load(half, memory=MemoryMap())
+        b = ALTIndex.bulk_load(half, memory=MemoryMap())
+        keys = np.concatenate([half[:150], rest[:50]]).astype(np.uint64)
+        with tracer() as ts:
+            sflags = [a.remove(int(k)) for k in keys]
+        with tracer() as tb:
+            bflags = b.batch_remove(keys)
+        assert bflags.tolist() == sflags
+        assert tb.scalars() == ts.scalars()
+        assert sorted(tb.reads) == sorted(ts.reads)
+        assert sorted(tb.writes) == sorted(ts.writes)
+
+    @pytest.mark.parametrize("cls", ALL_INDEXES, ids=IDS)
+    def test_write_trace_totals_every_index(self, cls, sorted_keys):
+        """Aggregate write CostTrace totals match the scalar loop for
+        every index (overrides delegate under an active tracer)."""
+        half, rest = sorted_keys[::2].copy(), sorted_keys[1::2]
+        a = cls.bulk_load(half, memory=MemoryMap())
+        b = cls.bulk_load(half, memory=MemoryMap())
+        ins = np.concatenate([rest[:60], half[:60]]).astype(np.uint64)
+        rem = np.concatenate([half[:30], rest[100:130]]).astype(np.uint64)
+        with tracer() as ts:
+            sflags = [a.insert(int(k), int(k) + 1) for k in ins]
+            sflags += [a.remove(int(k)) for k in rem]
+        with tracer() as tb:
+            bflags = b.batch_insert(ins, [int(k) + 1 for k in ins]).tolist()
+            bflags += b.batch_remove(rem).tolist()
+        assert bflags == sflags
+        assert tb.scalars() == ts.scalars()
+        assert sorted(tb.reads) == sorted(ts.reads)
+        assert sorted(tb.writes) == sorted(ts.writes)
+
 
 class TestALTBatchInternals:
     def test_writeback_parity(self, sorted_keys):
@@ -234,6 +268,93 @@ class TestALTBatchInternals:
         assert idx.batch_get(keys[:1]) == [None]
 
 
+class TestBatchWriteEquivalence:
+    """Untraced batch writes (the vectorized fast path) produce exactly
+    the results the scalar loop would, on every index."""
+
+    @pytest.mark.parametrize("cls", ALL_INDEXES, ids=IDS)
+    def test_insert_then_remove_matches_scalar_twin(self, cls, sorted_keys, rng):
+        half, rest = sorted_keys[::2].copy(), sorted_keys[1::2]
+        a = cls.bulk_load(half, memory=MemoryMap())
+        b = cls.bulk_load(half, memory=MemoryMap())
+        # Mix of new keys, existing keys (updates), and in-batch dups,
+        # spread across the key range so no model crosses its retrain
+        # threshold: flag-for-flag equality for duplicates is only
+        # defined when no retrain interleaves the two occurrences
+        # (batch replays duplicates after its vectorized phase, so
+        # retrain timing may differ from the strict scalar order).
+        fresh = rest[::40][:120]
+        ins = np.concatenate([fresh, half[::30][:80], fresh[:40]]).astype(np.uint64)
+        rng.shuffle(ins)
+        vals = [int(k) + 7 for k in ins]
+        sflags = [a.insert(int(k), v) for k, v in zip(ins, vals)]
+        bflags = b.batch_insert(ins, vals)
+        assert bflags.tolist() == sflags
+        if cls is ALTIndex:
+            assert a.expansions == 0, "workload assumption broken: retrain fired"
+        assert len(b) == len(a)
+        # Removes: present keys, absent keys, and in-batch dups.
+        rem = np.concatenate([half[:60], rest[200:240], half[:20]]).astype(np.uint64)
+        rng.shuffle(rem)
+        srem = [a.remove(int(k)) for k in rem]
+        brem = b.batch_remove(rem)
+        assert brem.tolist() == srem
+        assert len(b) == len(a)
+        probe = np.unique(np.concatenate([ins, rem]))
+        assert b.batch_get(probe) == scalar_gets(a, probe)
+
+    @pytest.mark.parametrize("cls", ALL_INDEXES, ids=IDS)
+    def test_empty_write_batches(self, cls, sorted_keys):
+        idx = cls.bulk_load(sorted_keys[::2].copy(), memory=MemoryMap())
+        n = len(idx)
+        assert idx.batch_insert(np.empty(0, dtype=np.uint64)).tolist() == []
+        assert idx.batch_remove(np.empty(0, dtype=np.uint64)).tolist() == []
+        assert len(idx) == n
+
+
+class TestALTBatchWriteInternals:
+    """ALT-specific semantics of the vectorized write path."""
+
+    def test_conflict_heavy_batch_routes_to_art(self, sorted_keys):
+        """Keys adjacent to residents mostly collide with FULL slots and
+        must route to the ART conflict layer, with the same
+        conflict-insert accounting as the scalar loop."""
+        scalar = ALTIndex.bulk_load(sorted_keys, memory=MemoryMap())
+        batched = ALTIndex.bulk_load(sorted_keys, memory=MemoryMap())
+        present = set(int(k) for k in sorted_keys)
+        neighbors = np.array(
+            [int(k) + 1 for k in sorted_keys[:400] if int(k) + 1 not in present],
+            dtype=np.uint64,
+        )
+        sflags = [scalar.insert(int(k), int(k)) for k in neighbors]
+        bflags = batched.batch_insert(neighbors, [int(k) for k in neighbors])
+        assert bflags.tolist() == sflags
+        assert all(sflags)
+        assert batched.conflict_inserts == scalar.conflict_inserts
+        assert batched.conflict_inserts > 0, "workload produced no conflicts"
+        assert len(batched) == len(scalar)
+        assert batched.batch_get(neighbors) == scalar_gets(scalar, neighbors)
+
+    def test_remove_then_reinsert_tombstoned_slots(self, sorted_keys):
+        """Re-inserting a key whose learned slot is tombstoned routes to
+        the ART (one-home invariant) in batch exactly as in scalar."""
+        scalar = ALTIndex.bulk_load(sorted_keys, memory=MemoryMap())
+        batched = ALTIndex.bulk_load(sorted_keys, memory=MemoryMap())
+        victims = sorted_keys[50:150].astype(np.uint64)
+        sflags = [scalar.remove(int(k)) for k in victims]
+        bflags = batched.batch_remove(victims)
+        assert bflags.tolist() == sflags
+        sflags = [scalar.insert(int(k), int(k) * 3) for k in victims]
+        bflags = batched.batch_insert(victims, [int(k) * 3 for k in victims])
+        assert bflags.tolist() == sflags
+        assert batched.conflict_inserts == scalar.conflict_inserts
+        assert len(batched) == len(scalar)
+        assert batched.batch_get(victims) == [int(k) * 3 for k in victims]
+        # Lookups repatriate tombstone-routed pairs just like scalar gets.
+        _ = scalar_gets(scalar, victims)
+        assert batched.writebacks == scalar.writebacks
+
+
 class TestRMIBatch:
     def test_lookup_batch_matches_scalar(self, sorted_keys):
         rmi = TwoStageRMI(sorted_keys, 16, MemoryMap(), "rmi")
@@ -254,8 +375,14 @@ class TestRMIBatch:
 
 def test_generic_fallback_used_by_unoptimized_indexes():
     """Indexes without overrides inherit the generic loop from the mixin."""
-    assert XIndex.batch_get is BatchIndex.batch_get
-    assert FINEdex.batch_get is BatchIndex.batch_get
-    assert ALTIndex.batch_get is not BatchIndex.batch_get
-    assert AlexIndex.batch_get is not BatchIndex.batch_get
-    assert BPlusTreeIndex.batch_get is not BatchIndex.batch_get
+    assert LippIndex.batch_get is BatchIndex.batch_get
+    assert ArtIndex.batch_get is BatchIndex.batch_get
+    for cls in (ALTIndex, AlexIndex, BPlusTreeIndex, FINEdex, XIndex):
+        assert cls.batch_get is not BatchIndex.batch_get, cls.NAME
+    # Write fast paths: ALT-index plus the flat-view baselines.
+    for cls in (ALTIndex, AlexIndex, BPlusTreeIndex):
+        assert cls.batch_insert is not BatchIndex.batch_insert, cls.NAME
+        assert cls.batch_remove is not BatchIndex.batch_remove, cls.NAME
+    for cls in (LippIndex, ArtIndex, FINEdex, XIndex):
+        assert cls.batch_insert is BatchIndex.batch_insert, cls.NAME
+        assert cls.batch_remove is BatchIndex.batch_remove, cls.NAME

@@ -24,6 +24,15 @@ def test_readme_links_docs():
     assert "docs/ARCHITECTURE.md" in readme
 
 
+def test_benchmarks_doc_covered_and_linked():
+    """BENCHMARKS.md is checked by check_docs and linked from the other
+    entry-point docs, so readers can always reach the run recipes."""
+    assert "docs/BENCHMARKS.md" in check_docs.DEFAULT_FILES
+    assert "docs/BENCHMARKS.md" in (REPO / "README.md").read_text()
+    assert "BENCHMARKS.md" in (REPO / "docs" / "API.md").read_text()
+    assert "BENCHMARKS.md" in (REPO / "docs" / "ARCHITECTURE.md").read_text()
+
+
 def test_all_documented_names_resolve():
     assert check_docs.main([]) == 0
 
@@ -66,4 +75,36 @@ def test_extractor_finds_dotted_names():
 def test_checker_fails_on_stale_reference(tmp_path):
     bad = tmp_path / "bad.md"
     bad.write_text("See `repro.core.alt_index.RemovedClass` for details.")
+    assert check_docs.main([str(bad)]) == 1
+
+
+def test_cli_extractor_reads_fenced_blocks_only():
+    text = (
+        "Inline `python -m repro.tools.check_docs` is a name reference,\n"
+        "not a CLI extraction.\n"
+        "```bash\n"
+        "PYTHONPATH=src python -m repro.bench.harness --batch-size 64\n"
+        "python -m repro.chaos --seeds 4\n"
+        "```\n"
+        "```\n"
+        "python -m repro.tools.check_spans\n"
+        "```\n"
+    )
+    assert check_docs.extract_cli_modules(text) == [
+        "repro.bench.harness",
+        "repro.chaos",
+        "repro.tools.check_spans",
+    ]
+
+
+def test_cli_module_checker():
+    assert check_docs.check_cli_module("repro.bench.harness")
+    assert check_docs.check_cli_module("repro.tools.check_docs")
+    assert not check_docs.check_cli_module("repro.no_such_cli")
+    assert not check_docs.check_cli_module("repro.bench.no_such_submodule")
+
+
+def test_checker_fails_on_stale_cli_invocation(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("```bash\npython -m repro.no_such_cli --flag\n```\n")
     assert check_docs.main([str(bad)]) == 1

@@ -161,6 +161,29 @@ class TestDisabledPath:
         assert plain.reads == on.reads
         assert plain.writes == on.writes
 
+    def test_batch_writes_fetch_profile_once_per_batch(self):
+        """The ALT batch write path hoists current_profile() to the
+        batch boundary: with a profile installed, one batch of n writes
+        records the batch spans once, not n times, and the disabled
+        path stays identical to the enabled one in results."""
+        keys = _keys(1500)
+        fresh = np.array(_insert_keys(keys, 256), dtype=np.uint64)
+
+        index = ALTIndex.bulk_load(keys, memory=MemoryMap(), tag="obs")
+        off_ins = index.batch_insert(fresh, [int(k) for k in fresh])
+        off_rem = index.batch_remove(fresh)
+
+        index = ALTIndex.bulk_load(keys, memory=MemoryMap(), tag="obs")
+        with profiled() as prof:
+            on_ins = index.batch_insert(fresh, [int(k) for k in fresh])
+            on_rem = index.batch_remove(fresh)
+        assert on_ins.tolist() == off_ins.tolist()
+        assert on_rem.tolist() == off_rem.tolist()
+        counts = {name: st.count for name, st in prof.totals.items()}
+        # one probe span per batch call, not per key
+        assert counts.get("alt.batch_probe") == 2
+        assert counts.get("alt.batch_place", 0) <= 2
+
     def test_disabled_guard_cost_fraction_of_traced_op(self):
         # The acceptance bound: with no consumers installed, the span
         # guards must cost well under 5% of a traced operation.  The
