@@ -507,6 +507,11 @@ def metrics_document(
         "span_total_modeled_ns": profile.total_modeled_ns(cost_model),
         "spans": profile.as_dict(cost_model),
         "metrics": metrics_snapshot,
+        # Index health snapshot (drift/occupancy/spill/backlog) — sampled
+        # by ALTIndex.stats() at the end of the run, so --emit-metrics
+        # carries it without a separate flag.  None for baseline indexes
+        # whose stats() has no health section.
+        "health": result.index_stats.get("health"),
     }
 
 

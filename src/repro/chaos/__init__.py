@@ -40,6 +40,7 @@ See docs/ARCHITECTURE.md ("Failure model & chaos harness").
 
 from __future__ import annotations
 
+from repro.obs import recorder as obs_recorder
 from repro.chaos.scheduler import ChaosScheduler, InjectedCrash
 
 #: The installed scheduler, or None.  Module-global on purpose: the hot
@@ -53,8 +54,14 @@ def point(name: str) -> None:
 
     No-op unless a :class:`ChaosScheduler` is installed *and* the calling
     thread is one of its tasks — then the scheduler logs the firing, may
-    inject a crash, and may hand execution to another task.
+    inject a crash, and may hand execution to another task.  An installed
+    :class:`~repro.obs.recorder.FlightRecorder` sees every firing either
+    way (the recorder's ring is exactly the "last points before the
+    crash" view a postmortem needs).
     """
+    r = obs_recorder._active
+    if r is not None:
+        r.record("point", name)
     s = _active
     if s is not None:
         s.on_point(name)

@@ -25,9 +25,12 @@ from repro import chaos
 from repro.art.tree import AdaptiveRadixTree
 from repro.chaos.history import CheckResult, HistoryRecorder, OpRecord, check_linearizable
 from repro.chaos.scheduler import ChaosScheduler
+from repro.concurrency.epoch import EpochManager
 from repro.concurrency.retry import DEFAULT_RETRY, acquire_cooperative
 from repro.concurrency.spinlock import SpinLock
+from repro.core.alt_index import ALTIndex
 from repro.core.learned_layer import FULL, GPLModel
+from repro.obs import recorder as obs_recorder
 from repro.sim.trace import global_memory
 
 
@@ -57,6 +60,44 @@ class ScheduleReport:
             f"{self.protocol:<8} seed={self.seed:<4}{mode} "
             f"fingerprint={self.fingerprint} ops={len(self.ops)} -> {verdict}"
         )
+
+
+def _report(
+    protocol: str,
+    seed: int,
+    planted: bool,
+    sched: ChaosScheduler,
+    ops: list[OpRecord],
+    check: CheckResult,
+) -> ScheduleReport:
+    """Package a finished schedule; failed checks dump a postmortem.
+
+    When a flight recorder is installed, a non-linearizable history
+    freezes the per-thread rings — the "what led up to it" view that a
+    seed alone doesn't give you.
+    """
+    report = ScheduleReport(
+        protocol=protocol,
+        seed=seed,
+        planted=planted,
+        fingerprint=sched.fingerprint(),
+        ops=ops,
+        check=check,
+        crashed=sched.crashed_tasks(),
+        scheduler=sched,
+    )
+    if not check.ok:
+        obs_recorder.auto_dump(
+            "linearizability_violation",
+            {
+                "protocol": protocol,
+                "seed": seed,
+                "planted": planted,
+                "reason": check.reason,
+                "schedule_fingerprint": report.fingerprint,
+            },
+        )
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -116,16 +157,7 @@ def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
     sched.spawn("adder-b", adder, "adder-b", 2)
     sched.spawn("reader", reader, "reader")
     sched.run()
-    return ScheduleReport(
-        protocol="gpl",
-        seed=seed,
-        planted=planted,
-        fingerprint=sched.fingerprint(),
-        ops=rec.ops,
-        check=check_linearizable(rec.ops),
-        crashed=sched.crashed_tasks(),
-        scheduler=sched,
-    )
+    return _report("gpl", seed, planted, sched, rec.ops, check_linearizable(rec.ops))
 
 
 # ----------------------------------------------------------------------
@@ -178,15 +210,8 @@ def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
     sched.spawn("reg-b", worker, "reg-b", [5, 9])
     sched.spawn("reg-c", worker, "reg-c", [7, 5])
     sched.run()
-    return ScheduleReport(
-        protocol="spinlock",
-        seed=seed,
-        planted=planted,
-        fingerprint=sched.fingerprint(),
-        ops=rec.ops,
-        check=check_linearizable(rec.ops),
-        crashed=sched.crashed_tasks(),
-        scheduler=sched,
+    return _report(
+        "spinlock", seed, planted, sched, rec.ops, check_linearizable(rec.ops)
     )
 
 
@@ -235,17 +260,186 @@ def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
     sched.spawn("ins-b", inserter, "ins-b", [(150, "b")])
     sched.spawn("reader", reader, "reader")
     sched.run()
-    return ScheduleReport(
-        protocol="art",
-        seed=seed,
-        planted=planted,
-        fingerprint=sched.fingerprint(),
-        ops=rec.ops,
-        check=check_linearizable(
-            rec.ops, init={100: "seed-100", 200: "seed-200"}
-        ),
-        crashed=sched.crashed_tasks(),
-        scheduler=sched,
+    return _report(
+        "art",
+        seed,
+        planted,
+        sched,
+        rec.ops,
+        check_linearizable(rec.ops, init={100: "seed-100", 200: "seed-200"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Epoch-based reclamation: pinned readers vs. retiring writers
+# ----------------------------------------------------------------------
+
+
+def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Readers pinned by epoch guards race a writer retiring GPL models.
+
+    The protected object is a one-key GPL model published through
+    ``current[0]``; the writer swaps in a replacement and *retires* the
+    old model (its slot is cleared only when the epoch has advanced past
+    every pinned reader).  An ``advancer`` task drives ``try_advance``,
+    so the ``epoch.enter`` / ``epoch.retire`` / ``epoch.advance``
+    interleaving points (open ROADMAP item) all see adversarial
+    schedules.  A reader that observes a non-FULL slot *while pinned*
+    saw reclaimed memory — the invariant the oracle checks.
+
+    The planted mutant frees the old model immediately on swap (retire
+    without the limbo wait), which an adversarial seed catches with a
+    reader paused mid-``read_slot``.
+    """
+    em = EpochManager()
+    memory = global_memory()
+
+    def new_model(gen: int) -> GPLModel:
+        m = GPLModel(
+            first_key=0, slope_eff=1.0, n_slots=2, memory=memory, tag="chaos/epoch"
+        )
+        m.write_slot(0, 0, gen)
+        return m
+
+    current = [new_model(0)]
+    rec = HistoryRecorder()
+
+    def observe() -> bool:
+        with em.enter():
+            m = current[0]  # capture while pinned
+            state, _key, _value = m.read_slot(0)
+            return state == FULL
+
+    def reader(task: str) -> None:
+        for _ in range(2):
+            rec.call(task, "get", 0, observe)
+
+    def writer(task: str) -> None:
+        for gen in (1, 2):
+            def swap(gen=gen) -> int:
+                fresh = new_model(gen)
+                old = current[0]
+                current[0] = fresh
+
+                def free(o=old) -> None:
+                    o.clear_slot(0, tombstone=False)
+
+                if planted:
+                    free()  # reclaim without waiting for readers: the bug
+                else:
+                    em.retire(free)
+                return gen
+
+            rec.call(task, "put", 0, swap, arg=gen)
+
+    def advancer(task: str) -> None:
+        for _ in range(4):
+            rec.call(task, "advance", 0, em.try_advance)
+
+    sched = ChaosScheduler(seed=seed)
+    sched.spawn("reader-a", reader, "reader-a")
+    sched.spawn("reader-b", reader, "reader-b")
+    sched.spawn("writer", writer, "writer")
+    sched.spawn("advancer", advancer, "advancer")
+    sched.run()
+    em.drain()  # quiescent: reclaim whatever the schedule left in limbo
+
+    stale = [
+        op for op in rec.ops if op.op == "get" and op.result is False
+    ]
+    if stale:
+        check = CheckResult(
+            False,
+            f"{len(stale)} pinned reader(s) observed a reclaimed model "
+            "(use-after-free window)",
+            stale,
+        )
+    else:
+        check = CheckResult(True, "no pinned reader saw reclaimed memory")
+    return _report("epoch", seed, planted, sched, rec.ops, check)
+
+
+# ----------------------------------------------------------------------
+# ALT write-back: repatriating an ART key into its predicted slot
+# ----------------------------------------------------------------------
+
+
+def run_writeback_schedule(
+    seed: int, planted: bool = False, crash_point: str | None = None
+) -> ScheduleReport:
+    """Concurrent lookups drive the ``alt.writeback`` point under churn.
+
+    Setup engineers the write-back precondition on a whole
+    :class:`~repro.core.alt_index.ALTIndex`: key 164 lives in the ART
+    because its predicted slot was full at insert time, and that slot is
+    now tombstoned — so the next ``get(164)`` repatriates it (Algorithm
+    2 lines 10-13).  Two getters race the write-back while a churn task
+    inserts/removes the slot's previous resident; the full history is
+    checked against the map oracle.
+
+    The planted mutant re-implements the write-back as check-then-act on
+    a stale slot state with no concurrent-remove guard, so a racing
+    ``remove(164)`` can be undone — the resurrected key shows up in a
+    later ``get`` and the oracle flags it.
+
+    ``crash_point`` arms a crash (e.g. ``"alt.writeback"``, dying between
+    the ART hit and the slot write) — the fixture generator for the
+    flight-recorder postmortem uses exactly that.
+    """
+    idx = ALTIndex(
+        epsilon=4.0, fast_pointers=False, retraining=False, tag="chaos/alt"
+    )
+    # Bootstrap model covers [100, 100+63]; 163 and 164 both clamp to
+    # slot 63, so 164 spills to ART; removing 163 tombstones the slot.
+    idx.insert(100, "v100")
+    idx.insert(163, "v163")
+    idx.insert(164, "v164")
+    idx.remove(163)
+    init = {100: "v100", 164: "v164"}
+    rec = HistoryRecorder()
+
+    def planted_get() -> object:
+        _i, model = idx.layer.route(164)
+        slot = model.slot_of(164)
+        state, resident, value = model.read_slot(slot)
+        if state == FULL and resident == 164:
+            return value
+        v = idx.art.search(164)
+        if v is not None and state != FULL:
+            chaos.point("planted.alt.writeback")  # stale-state window
+            model.write_slot(slot, 164, v)  # may resurrect a removed key
+            idx.art.remove(164)
+        return v
+
+    def getter(task: str) -> None:
+        for _ in range(2):
+            if planted:
+                rec.call(task, "get", 164, planted_get)
+            else:
+                rec.call(task, "get", 164, lambda: idx.get(164))
+
+    def churn(task: str) -> None:
+        if planted:
+            rec.call(task, "remove", 164, lambda: idx.remove(164))
+            rec.call(task, "get", 164, lambda: idx.get(164))
+        else:
+            rec.call(task, "insert", 163, lambda: idx.insert(163, "x1"), arg="x1")
+            rec.call(task, "remove", 163, lambda: idx.remove(163))
+
+    sched = ChaosScheduler(seed=seed)
+    sched.spawn("getter-a", getter, "getter-a")
+    sched.spawn("getter-b", getter, "getter-b")
+    sched.spawn("churn", churn, "churn")
+    if crash_point is not None:
+        sched.crash_at(crash_point)
+    sched.run()
+    return _report(
+        "writeback",
+        seed,
+        planted,
+        sched,
+        rec.ops,
+        check_linearizable(rec.ops, init=init),
     )
 
 
@@ -253,6 +447,8 @@ RUNNERS = {
     "gpl": run_gpl_schedule,
     "spinlock": run_spinlock_schedule,
     "art": run_art_schedule,
+    "epoch": run_epoch_schedule,
+    "writeback": run_writeback_schedule,
 }
 
 

@@ -35,6 +35,7 @@ import random
 import threading
 from typing import Callable
 
+from repro.obs import recorder as obs_recorder
 from repro.sim.trace import active_tracer
 
 
@@ -164,6 +165,11 @@ class ChaosScheduler:
 
     def _body(self, task: ChaosTask) -> None:
         self._by_ident[threading.get_ident()] = task
+        rec = obs_recorder._active
+        if rec is not None:
+            # Label the ring by task name, not the nondeterministic
+            # native thread name, so postmortems replay bit-identically.
+            rec.name_thread(task.name)
         task.go.acquire()  # wait to be scheduled the first time
         try:
             task.result = task.fn()
@@ -193,6 +199,16 @@ class ChaosScheduler:
             if count == rule.hit:
                 rule.fired = True
                 active_tracer().injected_faults += 1
+                rec = obs_recorder._active
+                if rec is not None:
+                    context = {
+                        "point": point,
+                        "task": task.name,
+                        "seed": self.seed,
+                        "step": len(self.log) - 1,
+                    }
+                    rec.record("crash", point, context)
+                    rec.auto_dump("injected_crash", context)
                 raise InjectedCrash(point, task.name)
         # Hand the baton back; block until scheduled again.
         self._ready.release()

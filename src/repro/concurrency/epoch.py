@@ -104,6 +104,23 @@ class EpochManager:
             if prof is not None:
                 prof.exit()
 
+    def pending(self) -> int:
+        """Retired objects whose ``free()`` has not run yet.
+
+        The health monitor's epoch-reclamation-lag signal: a growing
+        limbo population means ``try_advance`` is losing to a pinned
+        (stalled) reader or nobody is advancing at all.
+        """
+        with self._lock:
+            return sum(len(batch) for batch in self._limbo.values())
+
+    def lag(self) -> int:
+        """Epochs between the global clock and the laggiest pinned reader."""
+        with self._lock:
+            if not self._active:
+                return 0
+            return self._epoch - min(self._active.values())
+
     def drain(self) -> int:
         """Force-reclaim everything (quiescent shutdown). Returns count."""
         prof = current_profile()

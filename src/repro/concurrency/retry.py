@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from repro import chaos
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as obs_recorder
 from repro.obs.spans import current_profile
 from repro.sim.trace import active_tracer
 
@@ -127,9 +128,23 @@ class RetryState:
             active_tracer().retries += 1
             obs_metrics.inc("retry.attempts")
             self.attempts += 1
+            rec = obs_recorder._active
+            if rec is not None:
+                rec.record(
+                    "retry", self.site, {"attempts": self.attempts, "slot": slot}
+                )
             policy = self.policy
             if self.attempts >= policy.max_retries:
                 obs_metrics.inc("retry.budget_exceeded")
+                reason = "stuck_writer" if stuck else "retry_budget_exceeded"
+                context = {
+                    "site": self.site,
+                    "attempts": self.attempts,
+                    "slot": slot,
+                }
+                if rec is not None:
+                    rec.record("error", reason, context)
+                    rec.auto_dump(reason, context)
                 if stuck:
                     raise StuckWriterError(self.site, self.attempts, slot)
                 raise RetryBudgetExceeded(self.site, self.attempts)
@@ -162,6 +177,7 @@ class RetryState:
         active_tracer().fallbacks += 1
         obs_metrics.inc("retry.fallbacks")
         obs_metrics.observe("retry.attempts_at_fallback", self.attempts)
+        obs_recorder.record("fallback", self.site, {"attempts": self.attempts})
         if prof is not None:
             prof.exit()
 

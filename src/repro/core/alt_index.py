@@ -38,6 +38,7 @@ from repro.core.analysis import suggest_error_bound
 from repro.core.fast_pointer import FastPointerBuffer
 from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, LearnedLayer
 from repro.core.retrain import finish_expansion, maybe_start_expansion
+from repro.obs import health as obs_health
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import current_profile
 from repro.sim.trace import MemoryMap, current_tracer, global_memory
@@ -208,6 +209,7 @@ class ALTIndex(OrderedIndex):
     # Algorithm 2: Search
     # ------------------------------------------------------------------
     def get(self, key: int):
+        obs_health.tick(self)
         prof = current_profile()
         if prof is not None:
             prof.enter("alt.model_probe")
@@ -294,6 +296,7 @@ class ALTIndex(OrderedIndex):
             return []
         if current_tracer() is not None or not self._layer.models:
             return BatchIndex.batch_get(self, keys)
+        obs_health.tick(self, n)
         midx, slots, _, state, resident = self._layer.probe_live(keys)
         hit = (state == FULL) & (resident == keys)
         out: list = [None] * n
@@ -374,6 +377,7 @@ class ALTIndex(OrderedIndex):
             return np.empty(0, dtype=bool)
         if current_tracer() is not None or not self._layer.models:
             return BatchIndex.batch_insert(self, keys, values)
+        obs_health.tick(self, n)
         prof = current_profile()  # fetched once per batch
         out = np.zeros(n, dtype=bool)
 
@@ -506,6 +510,7 @@ class ALTIndex(OrderedIndex):
             return np.empty(0, dtype=bool)
         if current_tracer() is not None or not self._layer.models:
             return BatchIndex.batch_remove(self, keys)
+        obs_health.tick(self, n)
         prof = current_profile()  # fetched once per batch
         out = np.zeros(n, dtype=bool)
         vec_mask = np.ones(n, dtype=bool)
@@ -574,6 +579,7 @@ class ALTIndex(OrderedIndex):
     # Algorithm 2: Insert
     # ------------------------------------------------------------------
     def insert(self, key: int, value) -> bool:
+        obs_health.tick(self)
         prof = current_profile()
         if prof is not None:
             prof.enter("alt.model_probe")
@@ -666,6 +672,7 @@ class ALTIndex(OrderedIndex):
     # update / remove (§III-G)
     # ------------------------------------------------------------------
     def update(self, key: int, value) -> bool:
+        obs_health.tick(self)
         prof = current_profile()
         if prof is not None:
             prof.enter("alt.model_probe")
@@ -704,6 +711,7 @@ class ALTIndex(OrderedIndex):
                 prof.exit()
 
     def remove(self, key: int) -> bool:
+        obs_health.tick(self)
         prof = current_profile()
         if prof is not None:
             prof.enter("alt.model_probe")
@@ -836,6 +844,10 @@ class ALTIndex(OrderedIndex):
         }
         if self._fastptr is not None:
             stats["fast_pointers"] = self._fastptr.stats()
+        # Health snapshot (drift, occupancy, spill, backlog): sampled
+        # here so --emit-metrics documents carry it without a separate
+        # flag; publishes the health.* gauges when a registry is active.
+        stats["health"] = obs_health.sample_health(self)
         reg = obs_metrics.active_registry()
         if reg is not None:
             reg.set_gauge("alt.model_count", stats["model_count"])

@@ -54,6 +54,8 @@ class FastPointerBuffer:
         self._lock = SpinLock()
         self.raw_count = 0  # pointers requested before merging (Fig. 10b)
         self.repairs = 0  # invalidations repaired via SMO notifications
+        self.lookups = 0  # entry() calls (health: hit-rate denominator)
+        self.hits = 0  # entry() calls that returned a live node
         art.add_replace_listener(self._on_replace)
 
     def __len__(self) -> int:
@@ -104,6 +106,7 @@ class FastPointerBuffer:
     # -- lookup ----------------------------------------------------------------
     def entry(self, fast_index: int):
         """The ART node a model's shortcut points at, or None."""
+        self.lookups += 1
         if fast_index < 0 or fast_index >= len(self._pointers):
             return None
         t = current_tracer()
@@ -112,6 +115,7 @@ class FastPointerBuffer:
         node = self._pointers[fast_index]
         if isinstance(node, Node) and node.lock.is_obsolete:
             return None  # safety net; repair normally happens via callbacks
+        self.hits += 1
         return node
 
     def _entry_line(self, idx: int) -> int:
@@ -138,4 +142,6 @@ class FastPointerBuffer:
             "raw_pointers": self.raw_count,
             "repairs": self.repairs,
             "merge_enabled": self._merge,
+            "lookups": self.lookups,
+            "hits": self.hits,
         }

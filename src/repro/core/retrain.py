@@ -107,6 +107,15 @@ class ExpansionBuffer:
             return True
         return False
 
+    @property
+    def needed(self) -> int:
+        """Absorbs required before the buffer may replace the old model."""
+        return max(self.old.build_size, 1)
+
+    def remaining(self) -> int:
+        """Absorbs still outstanding (the health monitor's backlog unit)."""
+        return max(self.needed - self.inserted, 0)
+
     def is_complete(self) -> bool:
         """Step 3 trigger: buffer insertions reached the old build size."""
         return self.inserted >= max(self.old.build_size, 1)

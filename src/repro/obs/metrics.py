@@ -77,12 +77,22 @@ class Histogram:
         self.total = 0.0
 
     def observe(self, value: float) -> None:
-        if value < 0:
+        # ``not value >= 0`` rejects negatives *and* NaN (every NaN
+        # comparison is False), which the naive ``value < 0`` lets
+        # through only to blow up in ``int()`` below.
+        if not value >= 0:
             raise ValueError(f"histogram {self.name!r} takes non-negative samples")
-        iv = int(value)
-        idx = iv.bit_length() if iv else 0
-        if idx >= self.NBUCKETS:
+        if value >= 2 ** (self.NBUCKETS - 1):
+            # Overflow bucket, taken before int(): int(float('inf'))
+            # raises OverflowError.  +inf is clamped to the bucket edge
+            # so ``total``/``mean`` stay finite; large finite samples
+            # keep their exact total.
             idx = self.NBUCKETS - 1
+            if value == float("inf"):
+                value = float(2 ** (self.NBUCKETS - 1))
+        else:
+            iv = int(value)
+            idx = iv.bit_length() if iv else 0
         self.buckets[idx] += 1
         self.count += 1
         self.total += value
@@ -98,17 +108,9 @@ class Histogram:
         """Approximate quantile: the upper edge of the bucket holding the
         q-th sample.  Good to a factor of two, which is the resolution
         log bucketing promises."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if not self.count:
-            return 0.0
-        rank = q * (self.count - 1)
-        seen = 0
-        for idx, n in enumerate(self.buckets):
-            seen += n
-            if seen > rank:
-                return float(2**idx) if idx else 1.0
-        return float(2 ** (self.NBUCKETS - 1))
+        return quantile_from_buckets(
+            {i: n for i, n in enumerate(self.buckets) if n}, self.count, q
+        )
 
     def as_dict(self) -> dict:
         # Sparse bucket map keeps snapshots compact.
@@ -118,8 +120,60 @@ class Histogram:
             "mean": self.mean(),
             "p50": self.quantile(0.5),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
             "buckets": {str(i): n for i, n in enumerate(self.buckets) if n},
         }
+
+
+def quantile_from_buckets(buckets, count: int, q: float) -> float:
+    """Approximate quantile of a (possibly sparse) log-bucket map.
+
+    ``buckets`` maps bucket index (int or str — snapshots use str keys
+    for JSON) to sample count, the shape :meth:`Histogram.as_dict` and
+    :meth:`MetricsRegistry.delta` emit.  Returns the upper edge of the
+    bucket holding the q-th sample: 1.0 for bucket 0 (samples < 1),
+    ``2**i`` for bucket ``i``, and 0.0 when ``count`` is zero — so an
+    empty delta reports zero latency rather than raising.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if count <= 0:
+        return 0.0
+    rank = q * (count - 1)
+    seen = 0
+    for idx, n in sorted((int(i), n) for i, n in buckets.items()):
+        seen += n
+        if seen > rank:
+            return float(2**idx) if idx else 1.0
+    # Unreachable when buckets sum to count; be defensive for truncated
+    # maps (a hand-edited snapshot): report the largest seen edge.
+    return float(2 ** (Histogram.NBUCKETS - 1))
+
+
+def _histogram_delta(now: dict, earlier: dict) -> dict:
+    """Per-phase histogram increment with percentiles of the increment.
+
+    Differencing buckets (not just counts) is what lets a caller report
+    "p99 latency *of this phase*" rather than of the whole run — the
+    percentiles below are computed from the delta'd buckets alone.
+    """
+    eb = earlier.get("buckets", {})
+    buckets = {}
+    for i, n in now.get("buckets", {}).items():
+        dn = n - eb.get(i, 0)
+        if dn:
+            buckets[i] = dn
+    count = now["count"] - earlier.get("count", 0)
+    total = now["total"] - earlier.get("total", 0.0)
+    return {
+        "count": count,
+        "total": total,
+        "mean": total / count if count else 0.0,
+        "p50": quantile_from_buckets(buckets, count, 0.5),
+        "p99": quantile_from_buckets(buckets, count, 0.99),
+        "p999": quantile_from_buckets(buckets, count, 0.999),
+        "buckets": buckets,
+    }
 
 
 class MetricsRegistry:
@@ -213,10 +267,7 @@ class MetricsRegistry:
             },
             "gauges": now["gauges"],
             "histograms": {
-                n: {
-                    "count": d["count"] - eh.get(n, {}).get("count", 0),
-                    "total": d["total"] - eh.get(n, {}).get("total", 0.0),
-                }
+                n: _histogram_delta(d, eh.get(n, {}))
                 for n, d in now["histograms"].items()
             },
         }

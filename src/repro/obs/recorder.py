@@ -1,0 +1,264 @@
+"""Bounded per-thread flight recorder with crash postmortems.
+
+When a chaos schedule crashes a task, a writer gets stuck behind a dead
+latch, or the linearizability checker flags a history, the interesting
+question is always *what just happened* — the last few dozen protocol
+events on each thread leading up to the failure.  This module keeps
+exactly that: a bounded ring buffer of recent spans, chaos points,
+retries, and fallbacks per thread, costing one module-global load and a
+``None`` test per event when disabled.
+
+On failure the rings are frozen into a *postmortem* — a self-contained
+JSON document with the per-thread event tables, the failure reason and
+context, and a fingerprint over the event stream.  Postmortems are
+replayable: ``python -m repro.obs.recorder postmortem.json`` pretty-
+prints the document and recomputes the fingerprint from the events,
+exiting nonzero when the two disagree (a corrupted or hand-edited
+artifact).  Because chaos schedules are seeded and cooperative, re-
+running the same schedule under a fresh recorder reproduces the same
+event stream and therefore the same fingerprint.
+
+Hook sites (all no-ops without an installed recorder):
+
+- :func:`repro.chaos.point` — every interleaving point crossed.
+- :meth:`repro.obs.spans.SpanProfile.enter` — every span opened while
+  profiling.
+- :class:`repro.concurrency.retry.RetryState` — retry steps, fallbacks,
+  and the stuck-writer / budget-exceeded raises (the latter auto-dump).
+- :class:`repro.chaos.scheduler.ChaosScheduler` — injected crashes
+  auto-dump; chaos tasks are labelled by task name so postmortems are
+  deterministic across runs.
+- ``repro.chaos.protocols`` — failed linearizability checks auto-dump.
+
+Everything here is wall-clock free by design: events carry a global
+sequence number, not timestamps, so fingerprints are stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import deque
+from pathlib import Path
+
+SCHEMA = "repro.obs.recorder/v1"
+
+
+class FlightRecorder:
+    """Per-thread bounded ring buffer of protocol events.
+
+    ``capacity`` bounds each thread's ring; older events fall off.  When
+    ``dump_dir`` is set, :meth:`auto_dump` also writes the postmortem
+    JSON there (it always appends to :attr:`postmortems`).
+    """
+
+    def __init__(self, capacity: int = 256, dump_dir=None):
+        self.capacity = capacity
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self._lock = threading.Lock()
+        self._rings: dict[int, deque] = {}
+        self._labels: dict[int, str] = {}
+        self._seq = 0
+        self.postmortems: list[dict] = []
+
+    # -- event intake ----------------------------------------------------
+
+    def name_thread(self, label: str) -> None:
+        """Give the calling thread a stable label (chaos task names).
+
+        Native thread names (``Thread-7``) vary run to run; chaos tasks
+        register their task name here so postmortems are deterministic.
+        """
+        with self._lock:
+            self._labels[threading.get_ident()] = label
+
+    def record(self, kind: str, name: str, detail: dict | None = None) -> None:
+        """Append one event to the calling thread's ring."""
+        ident = threading.get_ident()
+        with self._lock:
+            self._seq += 1
+            event = {"seq": self._seq, "kind": kind, "name": name}
+            if detail:
+                event["detail"] = detail
+            ring = self._rings.get(ident)
+            if ring is None:
+                ring = self._rings[ident] = deque(maxlen=self.capacity)
+                self._labels.setdefault(
+                    ident, threading.current_thread().name
+                )
+            ring.append(event)
+
+    # -- freezing / dumping ----------------------------------------------
+
+    def threads(self) -> dict[str, list[dict]]:
+        """Frozen per-thread event tables, keyed by thread label."""
+        with self._lock:
+            out: dict[str, list[dict]] = {}
+            for ident, ring in self._rings.items():
+                label = self._labels.get(ident, f"thread-{ident}")
+                out.setdefault(label, []).extend(dict(e) for e in ring)
+            for events in out.values():
+                events.sort(key=lambda e: e["seq"])
+            return out
+
+    def snapshot(self, reason: str, context: dict | None = None) -> dict:
+        """A self-contained postmortem document for the current rings."""
+        threads = self.threads()
+        return {
+            "schema": SCHEMA,
+            "reason": reason,
+            "context": context or {},
+            "capacity": self.capacity,
+            "threads": threads,
+            "fingerprint": fingerprint_events(threads),
+        }
+
+    def auto_dump(self, reason: str, context: dict | None = None) -> dict:
+        """Freeze a postmortem; write it to ``dump_dir`` when configured."""
+        doc = self.snapshot(reason, context)
+        self.postmortems.append(doc)
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            path = self.dump_dir / (
+                f"postmortem-{reason}-{doc['fingerprint'][:12]}.json"
+            )
+            path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+            doc["path"] = str(path)
+        return doc
+
+
+def fingerprint_events(threads: dict[str, list[dict]]) -> str:
+    """Order-insensitive-by-thread, order-sensitive-by-seq digest.
+
+    Covers (seq, thread label, kind, name, detail) for every event, so a
+    replayed seeded schedule — which produces the same events in the
+    same global order — reproduces the fingerprint exactly.
+    """
+    h = hashlib.sha256()
+    rows = []
+    for label, events in threads.items():
+        for e in events:
+            detail = json.dumps(e.get("detail", {}), sort_keys=True)
+            rows.append((e["seq"], label, e["kind"], e["name"], detail))
+    for row in sorted(rows):
+        h.update(f"{row[0]}:{row[1]}:{row[2]}:{row[3]}:{row[4]};".encode())
+    return h.hexdigest()[:16]
+
+
+# -- ambient activation (same pattern as chaos.point / obs.metrics) ------
+
+_active: FlightRecorder | None = None
+
+
+def active_recorder() -> FlightRecorder | None:
+    return _active
+
+
+def record(kind: str, name: str, detail: dict | None = None) -> None:
+    """Record an event iff a recorder is installed (hot-path guard)."""
+    r = _active
+    if r is not None:
+        r.record(kind, name, detail)
+
+
+def auto_dump(reason: str, context: dict | None = None) -> dict | None:
+    """Dump a postmortem iff a recorder is installed."""
+    r = _active
+    if r is not None:
+        return r.auto_dump(reason, context)
+    return None
+
+
+class flight_recorder:
+    """``with flight_recorder(rec):`` installs ``rec`` as the ambient
+    recorder for the duration of the block (nestable)."""
+
+    def __init__(self, recorder: FlightRecorder | None = None, **kwargs):
+        self.recorder = recorder if recorder is not None else FlightRecorder(**kwargs)
+        self._prev: FlightRecorder | None = None
+
+    def __enter__(self) -> FlightRecorder:
+        global _active
+        self._prev = _active
+        _active = self.recorder
+        return self.recorder
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        _active = self._prev
+
+
+# -- postmortem pretty-printer / replayer --------------------------------
+
+
+def load_postmortem(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unknown postmortem schema {doc.get('schema')!r}"
+        )
+    return doc
+
+
+def render_postmortem(doc: dict, max_events: int | None = None) -> str:
+    """Human-readable rendering of a postmortem document."""
+    lines = [
+        f"postmortem: {doc['reason']}",
+        f"fingerprint: {doc['fingerprint']}  (ring capacity {doc['capacity']})",
+    ]
+    context = doc.get("context") or {}
+    if context:
+        ctx = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        lines.append(f"context: {ctx}")
+    for label in sorted(doc["threads"]):
+        events = doc["threads"][label]
+        shown = events if max_events is None else events[-max_events:]
+        lines.append("")
+        lines.append(f"-- {label} ({len(events)} events) " + "-" * 20)
+        if len(shown) < len(events):
+            lines.append(f"   ... {len(events) - len(shown)} earlier elided")
+        for e in shown:
+            detail = e.get("detail")
+            suffix = (
+                "  " + " ".join(f"{k}={v!r}" for k, v in sorted(detail.items()))
+                if detail
+                else ""
+            )
+            lines.append(f"  [{e['seq']:>5}] {e['kind']:<9}{e['name']}{suffix}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.recorder",
+        description="Pretty-print a flight-recorder postmortem and verify "
+        "its fingerprint against the recorded event stream.",
+    )
+    parser.add_argument("postmortem", help="path to a postmortem JSON file")
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N events per thread",
+    )
+    args = parser.parse_args(argv)
+
+    doc = load_postmortem(args.postmortem)
+    print(render_postmortem(doc, max_events=args.events))
+    recomputed = fingerprint_events(doc["threads"])
+    if recomputed != doc["fingerprint"]:
+        print(
+            f"\nFINGERPRINT MISMATCH: recorded {doc['fingerprint']}, "
+            f"events replay to {recomputed}",
+        )
+        return 1
+    print(f"\nfingerprint verified: {recomputed}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

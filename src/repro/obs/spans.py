@@ -53,6 +53,7 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.obs import recorder as obs_recorder
 from repro.sim.trace import CostTrace, current_tracer
 
 _FIELDS = CostTrace._SCALAR_FIELDS
@@ -211,6 +212,9 @@ class SpanProfile:
     def enter(self, name: str) -> None:
         """Open a span; events now accrue to ``name`` until the next
         boundary."""
+        rec = obs_recorder._active
+        if rec is not None:
+            rec.record("span", name)
         stack = self._stack
         self._boundary(stack[-1] if stack else None)
         stack.append(name)

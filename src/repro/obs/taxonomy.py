@@ -97,11 +97,68 @@ CHAOS_SPAN_MAP: dict[str, str] = {
 #: linearizability checker must flag; they never run in benchmarks.
 CHAOS_EXEMPT_PREFIXES: tuple[str, ...] = ("planted.",)
 
+#: Every legal metric name -> one-line description.  The registry
+#: (:mod:`repro.obs.metrics`) is name-addressed, so a typo'd counter
+#: silently creates a parallel series nothing reads.  check_spans
+#: rejects any ``inc``/``set_gauge``/``observe``/``observe_many``
+#: literal not registered here, and any registered name no code emits.
+METRIC_TAXONOMY: dict[str, str] = {
+    # -- bounded retry / fallback ----------------------------------------
+    "retry.attempts": "optimistic retry loop iterations across all sites",
+    "retry.budget_exceeded": "retry loops that exhausted max_retries",
+    "retry.fallbacks": "optimistic paths that fell back to pessimistic mode",
+    "retry.attempts_at_fallback": "histogram: attempts spent before falling back",
+    # -- epoch-based reclamation -----------------------------------------
+    "epoch.retired": "objects handed to the limbo lists",
+    "epoch.advances": "successful global epoch advances",
+    "epoch.reclaimed": "retired objects whose free callbacks ran",
+    # -- retrain / expansion pipeline ------------------------------------
+    "retrain.started": "expansion buffers opened on crowded models",
+    "retrain.finished": "expansion buffers swapped in as new models",
+    "retrain.old_slots": "histogram: slot count of models entering expansion",
+    "retrain.new_slots": "histogram: slot count of freshly swapped models",
+    # -- ALT-index structural counters/gauges ----------------------------
+    "alt.conflict_inserts": "inserts routed to the ART conflict path",
+    "alt.recoveries": "stuck GPL slots recovered (salvage/tombstone)",
+    "alt.writebacks": "ART-resident keys repatriated into GPL slots",
+    "alt.batch_inserts": "keys written through the vectorized batch path",
+    "alt.batch_removes": "keys removed through the vectorized batch path",
+    "alt.expansions": "expansions finished by the maintenance path",
+    "alt.model_count": "gauge: live GPL models in the learned layer",
+    "alt.learned_fraction": "gauge: fraction of keys resident in GPL slots",
+    "alt.memory_bytes": "gauge: modeled footprint of the index",
+    "alt.art_keys": "gauge: keys currently spilled to the ART layer",
+    # -- health telemetry (repro.obs.health) -----------------------------
+    "health.samples": "health snapshots taken by the sampling monitor",
+    "health.gpl_occupancy": "gauge: live slots / total slots across models",
+    "health.tombstone_fraction": "gauge: tombstoned slots / total slots",
+    "health.spill_fraction": "gauge: ART-resident keys / total keys",
+    "health.fastptr_hit_rate": "gauge: fast-pointer lookups served by a live node",
+    "health.drift_rmse_max": "gauge: worst per-model prediction RMSE (key positions)",
+    "health.eps_exceed_max": "gauge: worst per-model epsilon-exceed rate",
+    "health.drift_ratio_max": "gauge: worst per-model RMSE / trained epsilon bound",
+    "health.retrain_backlog": "gauge: absorbs outstanding across open expansions",
+    "health.active_expansions": "gauge: models currently mid-expansion",
+    "health.expansion_age_max": "gauge: inserts absorbed by the oldest open expansion",
+    "health.epoch_pending": "gauge: retired objects waiting in limbo lists",
+    "health.epoch_lag": "gauge: global epoch minus the laggiest pinned reader",
+    "health.model_drift_ratio": "histogram: per-model drift ratio x100 at sample time",
+    "health.model_occupancy": "histogram: per-model occupancy percent at sample time",
+}
+
 #: Files allowed to call ``chaos.point(<non-literal>)``.  The bounded-
 #: retry helper parameterises its point name per call site
 #: (``site + ".retry"``), which a static literal check cannot follow.
 NON_LITERAL_POINT_ALLOWLIST: tuple[str, ...] = (
     "src/repro/concurrency/retry.py",
+)
+
+#: Files allowed to emit metrics under non-literal names.  The registry
+#: itself is name-parametric, and the health monitor publishes a batch
+#: of gauges through a name->value dict.
+METRIC_NON_LITERAL_ALLOWLIST: tuple[str, ...] = (
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/health.py",
 )
 
 
@@ -112,3 +169,7 @@ def span_for_point(point: str) -> str | None:
 
 def is_exempt_point(point: str) -> bool:
     return point.startswith(CHAOS_EXEMPT_PREFIXES)
+
+
+def is_registered_metric(name: str) -> bool:
+    return name in METRIC_TAXONOMY

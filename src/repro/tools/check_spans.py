@@ -15,6 +15,13 @@ The observability layer only works if its two name spaces stay closed:
    interleaving point exists whose cost cannot be attributed to any
    layer.  Non-literal point names are only legal in files listed in
    :data:`~repro.obs.taxonomy.NON_LITERAL_POINT_ALLOWLIST`.
+4. **Every metric literal is registered** (and vice versa).  An
+   ``inc``/``set_gauge``/``observe``/``observe_many`` call under an
+   unregistered name creates a parallel series no dashboard or doc
+   knows about; :data:`~repro.obs.taxonomy.METRIC_TAXONOMY` is the
+   closed namespace, with
+   :data:`~repro.obs.taxonomy.METRIC_NON_LITERAL_ALLOWLIST` covering
+   the name-parametric registry internals.
 
 The checks are AST-based (docstrings and comments are ignored), in the
 style of :mod:`repro.tools.check_spins`, and run in tier-1 via
@@ -33,6 +40,8 @@ from pathlib import Path
 
 from repro.obs.taxonomy import (
     CHAOS_SPAN_MAP,
+    METRIC_NON_LITERAL_ALLOWLIST,
+    METRIC_TAXONOMY,
     NON_LITERAL_POINT_ALLOWLIST,
     SPAN_TAXONOMY,
     is_exempt_point,
@@ -44,10 +53,26 @@ DEFAULT_ROOT = "src/repro"
 #: Attribute names whose single-string-literal calls open spans.
 _SPAN_ATTRS = ("enter", "span")
 
+#: Attribute/function names whose first argument names a metric.
+_METRIC_FNS = ("inc", "set_gauge", "observe", "observe_many")
+
 
 def _str_arg(node: ast.Call) -> str | None:
     """The call's single positional string literal, if that's its shape."""
     if len(node.args) == 1 and not node.keywords:
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def _first_str_arg(node: ast.Call) -> str | None:
+    """The first positional argument when it is a string literal.
+
+    Metric emitters take trailing value arguments (``inc(name, 3)``), so
+    unlike :func:`_str_arg` extra positionals and keywords are fine.
+    """
+    if node.args:
         arg = node.args[0]
         if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
             return arg.value
@@ -86,6 +111,23 @@ def iter_point_calls(tree: ast.AST):
         yield _str_arg(node), node.lineno
 
 
+def iter_metric_calls(tree: ast.AST):
+    """Yield ``(name_or_None, lineno)`` for every metric-emitting call.
+
+    ``None`` marks a non-literal metric name (checked against
+    :data:`METRIC_NON_LITERAL_ALLOWLIST` by the caller).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_attr = isinstance(func, ast.Attribute) and func.attr in _METRIC_FNS
+        is_name = isinstance(func, ast.Name) and func.id in _METRIC_FNS
+        if not (is_attr or is_name):
+            continue
+        yield _first_str_arg(node), node.lineno
+
+
 def _string_literals(tree: ast.AST) -> set[str]:
     """Every string constant in the module (for the used-names check)."""
     return {
@@ -96,9 +138,12 @@ def _string_literals(tree: ast.AST) -> set[str]:
 
 
 def check_source(
-    source: str, filename: str = "<string>", allow_non_literal_points: bool = False
+    source: str,
+    filename: str = "<string>",
+    allow_non_literal_points: bool = False,
+    allow_non_literal_metrics: bool = False,
 ) -> tuple[list[str], set[str]]:
-    """Failures plus the set of registered span names this file uses."""
+    """Failures plus the registered span/metric names this file uses."""
     tree = ast.parse(source, filename=filename)
     failures: list[str] = []
     for name, lineno in iter_span_literals(tree):
@@ -120,15 +165,34 @@ def check_source(
                 f"{filename}:{lineno}: chaos point {name!r} has no covering "
                 "span in CHAOS_SPAN_MAP and matches no exempt prefix"
             )
-    used = _string_literals(tree) & set(SPAN_TAXONOMY)
+    for name, lineno in iter_metric_calls(tree):
+        if name is None:
+            if not allow_non_literal_metrics:
+                failures.append(
+                    f"{filename}:{lineno}: metric name is not a string "
+                    "literal; add the file to METRIC_NON_LITERAL_ALLOWLIST "
+                    "or use a literal"
+                )
+        elif name not in METRIC_TAXONOMY:
+            failures.append(
+                f"{filename}:{lineno}: metric name {name!r} is not "
+                "registered in repro.obs.taxonomy.METRIC_TAXONOMY"
+            )
+    used = _string_literals(tree) & (set(SPAN_TAXONOMY) | set(METRIC_TAXONOMY))
     return failures, used
 
 
 def check_file(path: Path, root: Path | None = None) -> tuple[list[str], set[str]]:
     rel = path.as_posix()
     allow = any(rel.endswith(entry) for entry in NON_LITERAL_POINT_ALLOWLIST)
+    allow_metrics = any(
+        rel.endswith(entry) for entry in METRIC_NON_LITERAL_ALLOWLIST
+    )
     return check_source(
-        path.read_text(), filename=str(path), allow_non_literal_points=allow
+        path.read_text(),
+        filename=str(path),
+        allow_non_literal_points=allow,
+        allow_non_literal_metrics=allow_metrics,
     )
 
 
@@ -157,12 +221,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"span {name!r} is registered in SPAN_TAXONOMY but no "
                 "scanned source references it"
             )
+        for name in sorted(set(METRIC_TAXONOMY) - used):
+            failures.append(
+                f"metric {name!r} is registered in METRIC_TAXONOMY but no "
+                "scanned source references it"
+            )
     if failures:
         print("\n".join(failures), file=sys.stderr)
         return 1
     print(
-        f"check_spans: {len(used)}/{len(SPAN_TAXONOMY)} registered spans used, "
-        f"{len(paths)} files clean"
+        f"check_spans: {len(used & set(SPAN_TAXONOMY))}/{len(SPAN_TAXONOMY)} "
+        f"registered spans and {len(used & set(METRIC_TAXONOMY))}/"
+        f"{len(METRIC_TAXONOMY)} metrics used, {len(paths)} files clean"
     )
     return 0
 

@@ -120,4 +120,7 @@ class TestInvalidationRepair:
         buf = FastPointerBuffer(art)
         buf.register(1, 2)
         s = buf.stats()
-        assert set(s) == {"pointers", "raw_pointers", "repairs", "merge_enabled"}
+        assert set(s) == {
+            "pointers", "raw_pointers", "repairs", "merge_enabled",
+            "lookups", "hits",
+        }

@@ -161,6 +161,80 @@ class TestDisabledPath:
         assert plain.reads == on.reads
         assert plain.writes == on.writes
 
+    def test_health_and_recorder_leave_traces_byte_identical(self):
+        """The overhead contract of the health/recorder tier: an active
+        monitor samples under its own private tracer and the recorder
+        never touches CostTrace, so the ambient operation traces are
+        byte-identical with both instruments on or off."""
+        from repro.obs.health import HealthMonitor, health_monitoring
+        from repro.obs.recorder import FlightRecorder, flight_recorder
+
+        keys = _keys(1500)
+        probe = [int(k) for k in keys[::4]]
+
+        def run():
+            index = ALTIndex.bulk_load(keys, memory=MemoryMap(), tag="obs")
+            t = CostTrace()
+            with tracer(t):
+                for k in probe:
+                    index.get(k)
+                for i, k in enumerate(_insert_keys(keys, 150)):
+                    index.insert(k, i)
+                index.batch_get(keys[:64])
+            return t
+
+        plain = run()
+
+        keys2 = _keys(1500)
+        index_for_monitor = ALTIndex.bulk_load(keys2)
+        monitor = HealthMonitor(index_for_monitor, interval=10)
+        rec = FlightRecorder(capacity=64)
+        with health_monitoring(monitor), flight_recorder(rec):
+            observed = run()
+        assert plain.scalars() == observed.scalars()
+        assert plain.reads == observed.reads
+        assert plain.writes == observed.writes
+
+    def test_sampling_the_traced_index_keeps_traces_identical(self):
+        """Even when the monitor fires on the index under trace, the
+        sampling walk must stay out of the ambient CostTrace."""
+        from repro.obs.health import HealthMonitor, health_monitoring
+
+        keys = _keys(1500)
+        probe = [int(k) for k in keys[::4]]
+
+        def run(monitored: bool):
+            index = ALTIndex.bulk_load(keys, memory=MemoryMap(), tag="obs")
+            t = CostTrace()
+            monitor = HealthMonitor(index, interval=20)
+            ctx = health_monitoring(monitor) if monitored else None
+            if ctx is not None:
+                ctx.__enter__()
+            try:
+                with tracer(t):
+                    for k in probe:
+                        index.get(k)
+            finally:
+                if ctx is not None:
+                    ctx.__exit__(None, None, None)
+            return t, monitor
+
+        plain, _ = run(monitored=False)
+        observed, monitor = run(monitored=True)
+        assert monitor.samples > 0  # it really did sample mid-trace
+        assert plain.scalars() == observed.scalars()
+        assert plain.reads == observed.reads
+        assert plain.writes == observed.writes
+
+    def test_no_registry_means_no_health_gauge_state(self):
+        from repro.obs.health import sample_health
+        from repro.obs.metrics import active_registry
+
+        index = ALTIndex.bulk_load(_keys(1200))
+        assert active_registry() is None
+        snap = sample_health(index)  # must not raise without a registry
+        assert snap["model_count"] >= 1
+
     def test_batch_writes_fetch_profile_once_per_batch(self):
         """The ALT batch write path hoists current_profile() to the
         batch boundary: with a profile installed, one batch of n writes
@@ -239,6 +313,56 @@ class TestMetrics:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
+    def test_histogram_empty_and_single_bucket_edges(self):
+        h = Histogram("lat")
+        # Empty histogram: every quantile is 0.0, mean is 0.0.
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 0.0
+        assert h.mean() == 0.0
+        # A single sample in bucket 0 reports bucket 0's upper edge.
+        h.observe(0)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 1.0
+        # All samples in one bucket: every quantile is that edge.
+        h2 = Histogram("lat2")
+        h2.observe_many([5, 6, 7])
+        assert h2.quantile(0.0) == h2.quantile(1.0) == 8.0
+
+    def test_histogram_overflow_bucket_handles_inf(self):
+        h = Histogram("lat")
+        # int(float('inf')) raises OverflowError; the overflow bucket
+        # must be taken before the int() conversion.
+        h.observe(float("inf"))
+        h.observe(2.0**70)
+        assert h.buckets[Histogram.NBUCKETS - 1] == 2
+        assert h.quantile(1.0) == float(2 ** (Histogram.NBUCKETS - 1))
+        # inf is clamped so mean stays finite; large finite samples keep
+        # their exact contribution.
+        assert h.total == float(2 ** (Histogram.NBUCKETS - 1)) + 2.0**70
+        with pytest.raises(ValueError):
+            h.observe(float("nan"))
+
+    def test_histogram_as_dict_has_p999(self):
+        h = Histogram("lat")
+        h.observe_many([1] * 995 + [10_000] * 5)
+        d = h.as_dict()
+        assert d["p50"] == 2.0
+        assert d["p999"] >= d["p99"] >= d["p50"]
+        assert d["p999"] == 16384.0  # the tail samples' bucket edge
+        assert h.quantile(1.0) == 16384.0
+
+    def test_quantile_from_buckets_str_keys(self):
+        # Snapshot bucket maps use str keys for JSON; the helper must
+        # accept them (and int keys) interchangeably.
+        from repro.obs.metrics import quantile_from_buckets
+
+        assert quantile_from_buckets({"0": 1, "10": 1}, 2, 1.0) == 1024.0
+        assert quantile_from_buckets({0: 1, 10: 1}, 2, 0.0) == 1.0
+        assert quantile_from_buckets({}, 0, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            quantile_from_buckets({0: 1}, 1, 2.0)
+
     def test_registry_snapshot_and_delta(self):
         reg = MetricsRegistry()
         reg.inc("ops", 3)
@@ -254,6 +378,26 @@ class TestMetrics:
         assert d["gauges"]["size"] == 9.0
         # snapshots are plain JSON-ready data
         json.dumps(reg.snapshot())
+
+    def test_delta_percentiles_reflect_only_the_phase(self):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.observe("lat", 1)  # warm phase: all fast
+        before = reg.snapshot()
+        for _ in range(10):
+            reg.observe("lat", 5000)  # measured phase: all slow
+        d = reg.delta(before)["histograms"]["lat"]
+        # The delta's percentiles come from delta'd buckets, so the warm
+        # phase's 100 fast samples cannot dilute the measured phase.
+        assert d["count"] == 10
+        assert d["p50"] == 8192.0
+        assert d["p999"] == 8192.0
+        assert d["mean"] == 5000.0
+        assert d["buckets"] == {"13": 10}
+        # Instruments absent from the earlier snapshot diff against zero.
+        reg.observe("fresh", 3)
+        d2 = reg.delta(before)["histograms"]["fresh"]
+        assert d2["count"] == 1 and d2["p50"] == 4.0
 
     def test_helpers_noop_when_disabled(self):
         assert active_registry() is None
