@@ -72,6 +72,11 @@ def is_active() -> bool:
     return _active is not None
 
 
+def active_scheduler() -> ChaosScheduler | None:
+    """The installed scheduler, or None (postmortems stamp its schedule id)."""
+    return _active
+
+
 def _install(scheduler: ChaosScheduler) -> None:
     global _active
     if _active is not None:
@@ -88,6 +93,7 @@ def _uninstall(scheduler: ChaosScheduler) -> None:
 __all__ = [
     "ChaosScheduler",
     "InjectedCrash",
+    "active_scheduler",
     "is_active",
     "point",
 ]

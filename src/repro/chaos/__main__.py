@@ -5,11 +5,19 @@ prints one line per schedule (seed, schedule fingerprint, verdict), and
 replays every schedule a second time to prove determinism — a differing
 fingerprint on replay is itself a failure.
 
+With ``--exhaustive`` the seeded sampling is replaced by systematic
+enumeration (:mod:`repro.chaos.dpor`): every schedule of a small
+per-protocol variant is explored depth-first with sleep-set pruning,
+the clean protocol must show no violation anywhere in the tree, and the
+planted mutants must be *found* — deterministically, with no seed.
+
 Examples::
 
     python -m repro.chaos --protocol gpl --seeds 5
     python -m repro.chaos --protocol all --seeds 3 --planted-bug
     python -m repro.chaos --protocol art --seed 17
+    python -m repro.chaos --exhaustive --protocol gpl
+    python -m repro.chaos --exhaustive --planted-bug --max-schedules 500
 
 Exit status is 0 when every schedule behaved as expected (linearizable
 normally; at least one detected violation per protocol with
@@ -48,6 +56,26 @@ def main(argv: list[str] | None = None) -> int:
         help="run the lost-update mutants and scan for a seed that exposes them",
     )
     parser.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="systematically enumerate schedules (DPOR with sleep-set "
+        "pruning) over small per-protocol variants instead of sampling "
+        "seeds; reports explored/pruned counts per protocol",
+    )
+    parser.add_argument(
+        "--max-schedules",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="schedule budget per protocol for --exhaustive (default 1000)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable sleep-set pruning under --exhaustive (plain "
+        "enumeration; slower but assumption-free)",
+    )
+    parser.add_argument(
         "--emit-timeline",
         default=None,
         metavar="PATH",
@@ -61,6 +89,30 @@ def main(argv: list[str] | None = None) -> int:
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
     ok = True
     timeline_runs: list[tuple[str, int, object]] = []
+
+    if args.exhaustive:
+        from repro.chaos.dpor import explore_protocol
+
+        for proto in protocols:
+            report = explore_protocol(
+                proto,
+                planted=args.planted_bug,
+                max_schedules=args.max_schedules,
+                prune=not args.no_prune,
+            )
+            print(report.summary())
+            if args.planted_bug:
+                if not report.violations:
+                    print(f"{proto:<8} planted-bug NOT DETECTED in explored schedules")
+                    ok = False
+                else:
+                    print("    " + report.violations[0].summary())
+            elif report.violations:
+                ok = False
+                for violation in report.violations:
+                    print("    " + violation.summary())
+        print("chaos: OK" if ok else "chaos: FAILED")
+        return 0 if ok else 1
 
     for proto in protocols:
         run = RUNNERS[proto]

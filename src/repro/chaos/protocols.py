@@ -1,25 +1,32 @@
-"""Seeded chaos schedules for the three concurrency protocols.
+"""Chaos workloads for the concurrency protocols, seeded and exhaustive.
 
-Each runner builds a tiny concurrent workload over one protocol — the
-GPL seqlock (§III-E), the fast-pointer spin lock, and the ART-OPT
-optimistic lock coupling — drives it under a :class:`ChaosScheduler`
-with a given seed, records the resulting history, and checks it for
-linearizability against the sequential oracle in
-:mod:`repro.chaos.history`.
+Each *case builder* constructs a tiny concurrent workload over one
+protocol — the GPL seqlock (§III-E), the fast-pointer spin lock, the
+ART-OPT optimistic lock coupling, epoch reclamation, the Algorithm-2
+write-back, and the §III-F retrain handoff — as a
+:class:`ProtocolCase`: fresh shared state, named tasks, a history
+recorder, and a correctness check.  The same case runs two ways:
 
-Every runner also has a ``planted`` mode that swaps one protocol step
-for a classic *lost-update* mutation (skipping the writer serialization,
-checking outside the lock, check-then-act around an insert).  A correct
-harness must keep the un-mutated protocols linearizable on every seed
-and flag the mutants on adversarial seeds — that is the harness's own
-regression test: if the checker cannot see a planted bug, it cannot see
-a real one.
+- **seeded** — the ``run_*_schedule`` runners drive a case under a
+  :class:`ChaosScheduler` RNG seed and return a replayable
+  :class:`ScheduleReport`;
+- **exhaustive** — :func:`repro.chaos.dpor.explore` re-executes a case
+  factory once per schedule, enumerating *every* interleaving of a small
+  variant (see :data:`EXHAUSTIVE_CASES`) instead of sampling seeds.
+
+Every protocol also has a ``planted`` mode that swaps one protocol step
+for a classic mutation (lost update, check-then-act, free-before-quiesce,
+resurrection-after-remove, swap-before-migrate).  A correct harness must
+keep the un-mutated protocols linearizable on every schedule and flag
+the mutants — that is the harness's own regression test: if the checker
+cannot see a planted bug, it cannot see a real one.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro import chaos
 from repro.art.tree import AdaptiveRadixTree
@@ -30,8 +37,29 @@ from repro.concurrency.retry import DEFAULT_RETRY, acquire_cooperative
 from repro.concurrency.spinlock import SpinLock
 from repro.core.alt_index import ALTIndex
 from repro.core.learned_layer import FULL, GPLModel
+from repro.core.retrain import ExpansionBuffer
 from repro.obs import recorder as obs_recorder
 from repro.sim.trace import global_memory
+
+
+@dataclass
+class ProtocolCase:
+    """One freshly-built concurrent workload, ready to be scheduled.
+
+    ``tasks`` are ``(name, fn)`` pairs to spawn in order; ``check()``
+    validates the recorded history once the schedule has run (call it
+    only after ``cleanup``, if any).  ``snapshot()``, when present,
+    digests the terminal shared state — the brute-force-vs-pruned
+    equivalence tests compare outcome sets through it.
+    """
+
+    protocol: str
+    planted: bool
+    tasks: list[tuple[str, Callable[[], None]]]
+    rec: HistoryRecorder
+    check: Callable[[], CheckResult]
+    cleanup: Callable[[], None] | None = None
+    snapshot: Callable[[], object] | None = None
 
 
 @dataclass
@@ -100,13 +128,36 @@ def _report(
     return report
 
 
+def _run_case(
+    case: ProtocolCase, seed: int, crash_point: str | None = None
+) -> ScheduleReport:
+    """Drive a freshly-built case under one seeded schedule."""
+    sched = ChaosScheduler(seed=seed)
+    for name, fn in case.tasks:
+        sched.spawn(name, fn)
+    if crash_point is not None:
+        sched.crash_at(crash_point)
+    sched.run()
+    if case.cleanup is not None:
+        case.cleanup()
+    return _report(
+        case.protocol, seed, case.planted, sched, case.rec.ops, case.check()
+    )
+
+
 # ----------------------------------------------------------------------
 # GPL seqlock: read-modify-write over one gapped-array slot
 # ----------------------------------------------------------------------
 
 
-def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
-    """Two incrementers and a reader over a single seqlocked GPL slot.
+def build_gpl_case(
+    planted: bool = False,
+    *,
+    adders: int = 2,
+    adder_reps: int = 2,
+    reader_reps: int = 2,
+) -> ProtocolCase:
+    """Two incrementers (and optionally a reader) over one seqlocked slot.
 
     The seqlock makes individual slot reads/writes atomic, but a
     read-modify-write still needs writer serialization (§III-E assumes
@@ -149,15 +200,28 @@ def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
             do_add(task)
 
     def reader(task: str) -> None:
-        for _ in range(2):
+        for _ in range(reader_reps):
             rec.call(task, "get", 0, lambda: (lambda s, k, v: v if s == FULL else None)(*model.read_slot(0)))
 
-    sched = ChaosScheduler(seed=seed)
-    sched.spawn("adder-a", adder, "adder-a", 2)
-    sched.spawn("adder-b", adder, "adder-b", 2)
-    sched.spawn("reader", reader, "reader")
-    sched.run()
-    return _report("gpl", seed, planted, sched, rec.ops, check_linearizable(rec.ops))
+    tasks: list[tuple[str, Callable[[], None]]] = [
+        (name, (lambda name=name: adder(name, adder_reps)))
+        for name in ("adder-a", "adder-b")[:adders]
+    ]
+    if reader_reps:
+        tasks.append(("reader", lambda: reader("reader")))
+    return ProtocolCase(
+        protocol="gpl",
+        planted=planted,
+        tasks=tasks,
+        rec=rec,
+        check=lambda: check_linearizable(rec.ops),
+        snapshot=lambda: ("slot", read_value()),
+    )
+
+
+def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Seeded schedule over :func:`build_gpl_case`."""
+    return _run_case(build_gpl_case(planted), seed)
 
 
 # ----------------------------------------------------------------------
@@ -165,7 +229,15 @@ def run_gpl_schedule(seed: int, planted: bool = False) -> ScheduleReport:
 # ----------------------------------------------------------------------
 
 
-def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+def build_spinlock_case(
+    planted: bool = False,
+    *,
+    workers: tuple[tuple[str, tuple[int, ...]], ...] = (
+        ("reg-a", (5, 7)),
+        ("reg-b", (5, 9)),
+        ("reg-c", (7, 5)),
+    ),
+) -> ProtocolCase:
     """Concurrent registrations into a merge-deduplicated table.
 
     Mirrors :meth:`repro.core.fast_pointer.FastPointerBuffer.register`:
@@ -201,18 +273,27 @@ def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
 
         rec.call(task, "register", key, register)
 
-    def worker(task: str, keys: list[int]) -> None:
+    def worker(task: str, keys: tuple[int, ...]) -> None:
         for k in keys:
             do_register(task, k)
 
-    sched = ChaosScheduler(seed=seed)
-    sched.spawn("reg-a", worker, "reg-a", [5, 7])
-    sched.spawn("reg-b", worker, "reg-b", [5, 9])
-    sched.spawn("reg-c", worker, "reg-c", [7, 5])
-    sched.run()
-    return _report(
-        "spinlock", seed, planted, sched, rec.ops, check_linearizable(rec.ops)
+    tasks = [
+        (name, (lambda name=name, keys=keys: worker(name, keys)))
+        for name, keys in workers
+    ]
+    return ProtocolCase(
+        protocol="spinlock",
+        planted=planted,
+        tasks=tasks,
+        rec=rec,
+        check=lambda: check_linearizable(rec.ops),
+        snapshot=lambda: tuple(sorted(table.items())),
     )
+
+
+def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Seeded schedule over :func:`build_spinlock_case`."""
+    return _run_case(build_spinlock_case(planted), seed)
 
 
 # ----------------------------------------------------------------------
@@ -220,7 +301,9 @@ def run_spinlock_schedule(seed: int, planted: bool = False) -> ScheduleReport:
 # ----------------------------------------------------------------------
 
 
-def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+def build_art_case(
+    planted: bool = False, *, with_reader: bool = True, b_extra: bool = True
+) -> ProtocolCase:
     """Duelling insert-if-absent plus lookups over the ART-OPT layer.
 
     ``AdaptiveRadixTree.insert`` decides newly-inserted-or-not inside
@@ -255,19 +338,28 @@ def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
         for k in (150, 100):
             rec.call(task, "get", k, lambda k=k: tree.search(k))
 
-    sched = ChaosScheduler(seed=seed)
-    sched.spawn("ins-a", inserter, "ins-a", [(150, "a"), (300, "a")])
-    sched.spawn("ins-b", inserter, "ins-b", [(150, "b")])
-    sched.spawn("reader", reader, "reader")
-    sched.run()
-    return _report(
-        "art",
-        seed,
-        planted,
-        sched,
-        rec.ops,
-        check_linearizable(rec.ops, init={100: "seed-100", 200: "seed-200"}),
+    a_items = [(150, "a"), (300, "a")] if b_extra else [(150, "a")]
+    tasks: list[tuple[str, Callable[[], None]]] = [
+        ("ins-a", lambda: inserter("ins-a", a_items)),
+        ("ins-b", lambda: inserter("ins-b", [(150, "b")])),
+    ]
+    if with_reader:
+        tasks.append(("reader", lambda: reader("reader")))
+    return ProtocolCase(
+        protocol="art",
+        planted=planted,
+        tasks=tasks,
+        rec=rec,
+        check=lambda: check_linearizable(
+            rec.ops, init={100: "seed-100", 200: "seed-200"}
+        ),
+        snapshot=lambda: tree.search(150),
     )
+
+
+def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Seeded schedule over :func:`build_art_case`."""
+    return _run_case(build_art_case(planted), seed)
 
 
 # ----------------------------------------------------------------------
@@ -275,7 +367,14 @@ def run_art_schedule(seed: int, planted: bool = False) -> ScheduleReport:
 # ----------------------------------------------------------------------
 
 
-def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+def build_epoch_case(
+    planted: bool = False,
+    *,
+    readers: int = 2,
+    reader_reps: int = 2,
+    writer_gens: tuple[int, ...] = (1, 2),
+    advances: int = 4,
+) -> ProtocolCase:
     """Readers pinned by epoch guards race a writer retiring GPL models.
 
     The protected object is a one-key GPL model published through
@@ -283,13 +382,13 @@ def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
     old model (its slot is cleared only when the epoch has advanced past
     every pinned reader).  An ``advancer`` task drives ``try_advance``,
     so the ``epoch.enter`` / ``epoch.retire`` / ``epoch.advance``
-    interleaving points (open ROADMAP item) all see adversarial
-    schedules.  A reader that observes a non-FULL slot *while pinned*
-    saw reclaimed memory — the invariant the oracle checks.
+    interleaving points all see adversarial schedules.  A reader that
+    observes a non-FULL slot *while pinned* saw reclaimed memory — the
+    invariant the oracle checks.
 
     The planted mutant frees the old model immediately on swap (retire
-    without the limbo wait), which an adversarial seed catches with a
-    reader paused mid-``read_slot``.
+    without the limbo wait), which an adversarial schedule catches with
+    a reader paused mid-``read_slot``.
     """
     em = EpochManager()
     memory = global_memory()
@@ -311,11 +410,11 @@ def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
             return state == FULL
 
     def reader(task: str) -> None:
-        for _ in range(2):
+        for _ in range(reader_reps):
             rec.call(task, "get", 0, observe)
 
     def writer(task: str) -> None:
-        for gen in (1, 2):
+        for gen in writer_gens:
             def swap(gen=gen) -> int:
                 fresh = new_model(gen)
                 old = current[0]
@@ -333,30 +432,40 @@ def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
             rec.call(task, "put", 0, swap, arg=gen)
 
     def advancer(task: str) -> None:
-        for _ in range(4):
+        for _ in range(advances):
             rec.call(task, "advance", 0, em.try_advance)
 
-    sched = ChaosScheduler(seed=seed)
-    sched.spawn("reader-a", reader, "reader-a")
-    sched.spawn("reader-b", reader, "reader-b")
-    sched.spawn("writer", writer, "writer")
-    sched.spawn("advancer", advancer, "advancer")
-    sched.run()
-    em.drain()  # quiescent: reclaim whatever the schedule left in limbo
+    def check() -> CheckResult:
+        stale = [op for op in rec.ops if op.op == "get" and op.result is False]
+        if stale:
+            return CheckResult(
+                False,
+                f"{len(stale)} pinned reader(s) observed a reclaimed model "
+                "(use-after-free window)",
+                stale,
+            )
+        return CheckResult(True, "no pinned reader saw reclaimed memory")
 
-    stale = [
-        op for op in rec.ops if op.op == "get" and op.result is False
+    tasks: list[tuple[str, Callable[[], None]]] = [
+        (f"reader-{chr(ord('a') + i)}", (lambda name=f"reader-{chr(ord('a') + i)}": reader(name)))
+        for i in range(readers)
     ]
-    if stale:
-        check = CheckResult(
-            False,
-            f"{len(stale)} pinned reader(s) observed a reclaimed model "
-            "(use-after-free window)",
-            stale,
-        )
-    else:
-        check = CheckResult(True, "no pinned reader saw reclaimed memory")
-    return _report("epoch", seed, planted, sched, rec.ops, check)
+    tasks.append(("writer", lambda: writer("writer")))
+    tasks.append(("advancer", lambda: advancer("advancer")))
+    return ProtocolCase(
+        protocol="epoch",
+        planted=planted,
+        tasks=tasks,
+        rec=rec,
+        check=check,
+        cleanup=lambda: em.drain(),  # quiescent: reclaim limbo leftovers
+        snapshot=lambda: tuple(op.result for op in rec.ops if op.op == "get"),
+    )
+
+
+def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Seeded schedule over :func:`build_epoch_case`."""
+    return _run_case(build_epoch_case(planted), seed)
 
 
 # ----------------------------------------------------------------------
@@ -364,16 +473,16 @@ def run_epoch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
 # ----------------------------------------------------------------------
 
 
-def run_writeback_schedule(
-    seed: int, planted: bool = False, crash_point: str | None = None
-) -> ScheduleReport:
+def build_writeback_case(
+    planted: bool = False, *, getters: int = 2, getter_reps: int = 2
+) -> ProtocolCase:
     """Concurrent lookups drive the ``alt.writeback`` point under churn.
 
     Setup engineers the write-back precondition on a whole
     :class:`~repro.core.alt_index.ALTIndex`: key 164 lives in the ART
     because its predicted slot was full at insert time, and that slot is
     now tombstoned — so the next ``get(164)`` repatriates it (Algorithm
-    2 lines 10-13).  Two getters race the write-back while a churn task
+    2 lines 10-13).  Getters race the write-back while a churn task
     inserts/removes the slot's previous resident; the full history is
     checked against the map oracle.
 
@@ -381,10 +490,6 @@ def run_writeback_schedule(
     a stale slot state with no concurrent-remove guard, so a racing
     ``remove(164)`` can be undone — the resurrected key shows up in a
     later ``get`` and the oracle flags it.
-
-    ``crash_point`` arms a crash (e.g. ``"alt.writeback"``, dying between
-    the ART hit and the slot write) — the fixture generator for the
-    flight-recorder postmortem uses exactly that.
     """
     idx = ALTIndex(
         epsilon=4.0, fast_pointers=False, retraining=False, tag="chaos/alt"
@@ -412,7 +517,7 @@ def run_writeback_schedule(
         return v
 
     def getter(task: str) -> None:
-        for _ in range(2):
+        for _ in range(getter_reps):
             if planted:
                 rec.call(task, "get", 164, planted_get)
             else:
@@ -426,21 +531,165 @@ def run_writeback_schedule(
             rec.call(task, "insert", 163, lambda: idx.insert(163, "x1"), arg="x1")
             rec.call(task, "remove", 163, lambda: idx.remove(163))
 
-    sched = ChaosScheduler(seed=seed)
-    sched.spawn("getter-a", getter, "getter-a")
-    sched.spawn("getter-b", getter, "getter-b")
-    sched.spawn("churn", churn, "churn")
-    if crash_point is not None:
-        sched.crash_at(crash_point)
-    sched.run()
-    return _report(
-        "writeback",
-        seed,
-        planted,
-        sched,
-        rec.ops,
-        check_linearizable(rec.ops, init=init),
+    tasks: list[tuple[str, Callable[[], None]]] = [
+        (f"getter-{chr(ord('a') + i)}", (lambda name=f"getter-{chr(ord('a') + i)}": getter(name)))
+        for i in range(getters)
+    ]
+    tasks.append(("churn", lambda: churn("churn")))
+    return ProtocolCase(
+        protocol="writeback",
+        planted=planted,
+        tasks=tasks,
+        rec=rec,
+        check=lambda: check_linearizable(rec.ops, init=init),
+        snapshot=lambda: (idx.get(164), idx.get(163)),
     )
+
+
+def run_writeback_schedule(
+    seed: int, planted: bool = False, crash_point: str | None = None
+) -> ScheduleReport:
+    """Seeded schedule over :func:`build_writeback_case`.
+
+    ``crash_point`` arms a crash (e.g. ``"alt.writeback"``, dying between
+    the ART hit and the slot write) — the fixture generator for the
+    flight-recorder postmortem uses exactly that.
+    """
+    return _run_case(build_writeback_case(planted), seed, crash_point=crash_point)
+
+
+# ----------------------------------------------------------------------
+# Retrain handoff: ExpansionBuffer migration vs. model replacement
+# ----------------------------------------------------------------------
+
+
+def build_retrain_case(
+    planted: bool = False,
+    *,
+    inserts: tuple[tuple[int, object], ...] = ((1, "v1"), (0, "v0b")),
+    reader_reps: int = 2,
+) -> ProtocolCase:
+    """An inserter and readers race the §III-F expansion handoff.
+
+    The old model holds key 0; an open :class:`ExpansionBuffer` absorbs
+    runtime inserts while a finisher migrates the old model's residents
+    and swaps the buffer in as the live model
+    (:func:`repro.core.retrain.finish_expansion` order: migrate *then*
+    swap).  Mutating paths — absorbs and the finish — serialize through
+    a cooperative writer mutex, mirroring the maintenance path; readers
+    are optimistic: expansion buffer first, then the published model,
+    then the spill map.
+
+    The planted mutant swaps *before* migrating (publish-then-backfill),
+    opening a window where key 0 is in neither the published model nor
+    the buffer — a reader in the window sees the key vanish, which the
+    map oracle flags.
+    """
+    memory = global_memory()
+    old = GPLModel(
+        first_key=0, slope_eff=1.0, n_slots=4, memory=memory, tag="chaos/retrain"
+    )
+    old.write_slot(0, 0, "v0")
+    expansion = ExpansionBuffer(old, memory, "chaos/retrain-exp")
+    current: list[GPLModel] = [old]
+    open_expansion: list[ExpansionBuffer | None] = [expansion]
+    spilled: dict[int, object] = {}
+    writer_lock = threading.Lock()
+    rec = HistoryRecorder()
+
+    def spill(key: int, value) -> bool:
+        new = key not in spilled
+        spilled[key] = value
+        return new
+
+    def do_get(key: int):
+        exp = open_expansion[0]
+        if exp is not None:
+            found, value = exp.lookup(key)
+            if found:
+                return value
+        model = current[0]
+        slot = model.slot_of(key)
+        state, resident, value = model.read_slot(slot)
+        if state == FULL and resident == key:
+            return value
+        return spilled.get(key)
+
+    def do_put(key: int, value) -> None:
+        st = DEFAULT_RETRY.begin("retrain.writer_lock")
+        acquire_cooperative(writer_lock, st)
+        try:
+            exp = open_expansion[0]
+            if exp is not None:
+                exp.absorb(key, value, spill)
+                return
+            # Expansion already finished: write through the live model.
+            model = current[0]
+            slot = model.slot_of(key)
+            state, resident, _ = model.read_slot(slot)
+            if state == FULL and resident != key:
+                spill(key, value)
+            else:
+                model.write_slot(slot, key, value)
+        finally:
+            writer_lock.release()
+
+    def do_finish() -> bool:
+        st = DEFAULT_RETRY.begin("retrain.writer_lock")
+        acquire_cooperative(writer_lock, st)
+        try:
+            exp = open_expansion[0]
+            if exp is None:
+                return False
+            if planted:
+                # Publish the buffer before migrating the old residents:
+                # key 0 is temporarily in neither place.
+                current[0] = exp.buffer
+                open_expansion[0] = None
+                chaos.point("planted.retrain.handoff")  # handoff hole
+                exp.finish(spill)
+            else:
+                new_model = exp.finish(spill)  # migrate, THEN swap
+                chaos.point("retrain.swap")
+                current[0] = new_model
+                open_expansion[0] = None
+            return True
+        finally:
+            writer_lock.release()
+
+    def reader(task: str) -> None:
+        for _ in range(reader_reps):
+            rec.call(task, "get", 0, lambda: do_get(0))
+
+    def inserter(task: str) -> None:
+        for key, value in inserts:
+            rec.call(task, "put", key, lambda k=key, v=value: do_put(k, v), arg=value)
+
+    def finisher(task: str) -> None:
+        rec.call(task, "finish", 0, do_finish)
+
+    def check() -> CheckResult:
+        ops = [op for op in rec.ops if op.op != "finish"]
+        return check_linearizable(ops, init={0: "v0"})
+
+    tasks: list[tuple[str, Callable[[], None]]] = []
+    if inserts:
+        tasks.append(("inserter", lambda: inserter("inserter")))
+    tasks.append(("reader", lambda: reader("reader")))
+    tasks.append(("finisher", lambda: finisher("finisher")))
+    return ProtocolCase(
+        protocol="retrain",
+        planted=planted,
+        tasks=tasks,
+        rec=rec,
+        check=check,
+        snapshot=lambda: (do_get(0), do_get(1)),
+    )
+
+
+def run_retrain_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Seeded schedule over :func:`build_retrain_case`."""
+    return _run_case(build_retrain_case(planted), seed)
 
 
 RUNNERS = {
@@ -449,6 +698,45 @@ RUNNERS = {
     "art": run_art_schedule,
     "epoch": run_epoch_schedule,
     "writeback": run_writeback_schedule,
+    "retrain": run_retrain_schedule,
+}
+
+#: Small case factories for systematic exploration, per protocol:
+#: ``(clean_factory, planted_factory)``.  Sized so the planted mutant is
+#: reachable quickly by DFS and the clean variant's schedule tree fits a
+#: modest budget (the gpl clean variant — two tasks, ≤6 points each — is
+#: fully enumerable and is the acceptance case for ``--exhaustive``).
+EXHAUSTIVE_CASES: dict[str, tuple[Callable[[], ProtocolCase], Callable[[], ProtocolCase]]] = {
+    "gpl": (
+        # Two tasks, ≤6 points each: one serialized writer, one seqlock
+        # reader — small enough to enumerate completely.
+        lambda: build_gpl_case(False, adders=1, adder_reps=1, reader_reps=1),
+        lambda: build_gpl_case(True, adders=2, adder_reps=1, reader_reps=0),
+    ),
+    "spinlock": (
+        lambda: build_spinlock_case(False, workers=(("reg-a", (5,)), ("reg-b", (5,)))),
+        lambda: build_spinlock_case(True, workers=(("reg-a", (5,)), ("reg-b", (5,)))),
+    ),
+    "art": (
+        lambda: build_art_case(False, with_reader=False, b_extra=False),
+        lambda: build_art_case(True, with_reader=False, b_extra=False),
+    ),
+    "epoch": (
+        lambda: build_epoch_case(
+            False, readers=1, reader_reps=1, writer_gens=(1,), advances=2
+        ),
+        lambda: build_epoch_case(
+            True, readers=1, reader_reps=1, writer_gens=(1,), advances=1
+        ),
+    ),
+    "writeback": (
+        lambda: build_writeback_case(False, getters=1, getter_reps=1),
+        lambda: build_writeback_case(True, getters=1, getter_reps=2),
+    ),
+    "retrain": (
+        lambda: build_retrain_case(False, inserts=(), reader_reps=1),
+        lambda: build_retrain_case(True, inserts=(), reader_reps=1),
+    ),
 }
 
 

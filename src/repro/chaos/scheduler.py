@@ -4,13 +4,31 @@ Real threads are used, but at most one *task* thread is runnable at any
 moment: every task blocks at each :func:`repro.chaos.point` it reaches
 (and before its first instruction) until the scheduler hands it the
 baton.  Between two points a task runs ordinary deterministic Python, so
-the complete execution is a pure function of ``(tasks, seed, faults)`` —
-any schedule replays exactly from its seed, which is what makes an
-injected-fault failure debuggable.
+the complete execution is a pure function of ``(tasks, choices, faults)``
+— any schedule replays exactly, which is what makes an injected-fault
+failure debuggable.
+
+Three ways to choose who runs at each step:
+
+- **seeded** (default) — the scheduler's RNG picks among the live tasks;
+  the schedule is a pure function of the seed;
+- **prescribed** — ``ChaosScheduler(schedule=["w", "r", "w"])`` replays
+  an explicit task sequence (the tail past the list's end falls back to
+  first-live order).  This is the replay/enumeration primitive the DPOR
+  explorer (:mod:`repro.chaos.dpor`) is built on;
+- **decision callback** — ``ChaosScheduler(decide=fn)`` asks
+  ``fn(step, live, parked)`` to name the next task, where ``live`` is
+  the tuple of runnable task names (the *choice set*) and ``parked``
+  maps each started task to the point it is currently blocked at.
+
+Whatever the mode, every decision is recorded in
+:attr:`ChaosScheduler.choices` as a :class:`ScheduleChoice` carrying the
+full choice set, the chosen task, and the point that task arrived at —
+the observation log systematic exploration needs.
 
 Two fault kinds ride on the same mechanism:
 
-- **preemption / delay** — the scheduler's RNG simply picks someone else
+- **preemption / delay** — the scheduler simply picks someone else
   at a point (a "delay" of a task is the schedule choosing around it);
 - **crash-at-point** — :meth:`ChaosScheduler.crash_at` arms a point so
   that the n-th arrival of a (matching) task raises
@@ -33,10 +51,14 @@ from __future__ import annotations
 import hashlib
 import random
 import threading
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.obs import recorder as obs_recorder
 from repro.sim.trace import active_tracer
+
+#: Arrival marker for a scheduling step whose task finished (or died)
+#: without reaching another interleaving point.
+TASK_EXIT = "<exit>"
 
 
 class InjectedCrash(Exception):
@@ -48,6 +70,11 @@ class InjectedCrash(Exception):
         self.task = task
 
 
+class PrescribedScheduleError(RuntimeError):
+    """A prescribed schedule (or decision callback) named a task that is
+    not currently live — the prescription does not fit this program."""
+
+
 class _CrashRule:
     __slots__ = ("point", "task", "hit", "fired")
 
@@ -56,6 +83,31 @@ class _CrashRule:
         self.task = task  # None = any task
         self.hit = hit  # 1-based arrival count at which to fire
         self.fired = False
+
+
+class ScheduleChoice:
+    """One recorded scheduling decision.
+
+    ``live`` is the choice set (names of all runnable tasks at this
+    step), ``chosen`` the task that ran, and ``arrival`` the point the
+    chosen task stopped at after running — :data:`TASK_EXIT` when it
+    finished instead of reaching another point.
+    """
+
+    __slots__ = ("step", "live", "chosen", "arrival")
+
+    def __init__(self, step: int, live: tuple[str, ...], chosen: str,
+                 arrival: str = TASK_EXIT):
+        self.step = step
+        self.live = live
+        self.chosen = chosen
+        self.arrival = arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ScheduleChoice({self.step}, live={self.live!r}, "
+            f"chosen={self.chosen!r}, arrival={self.arrival!r})"
+        )
 
 
 class ChaosTask:
@@ -87,26 +139,44 @@ class ChaosScheduler:
         sched.crash_at("slot.write_latched", task="writer")
         sched.run()
         sched.log          # [(step, task, point), ...] — the schedule
+        sched.choices      # [ScheduleChoice, ...] — choice set per step
         sched.fingerprint()  # stable hash of the schedule, for replay checks
 
     ``run()`` installs the scheduler globally (making ``chaos.point``
     live), steps tasks until all are done, then uninstalls.  Task
     exceptions other than :class:`InjectedCrash` are re-raised from
-    ``run()``; injected crashes mark the task ``crashed`` and the
-    schedule continues — that *is* the experiment.
+    ``run()`` — a single failure directly, several as an
+    :class:`ExceptionGroup` carrying every task's error (no failure is
+    ever silently dropped).  Injected crashes mark the task ``crashed``
+    and the schedule continues — that *is* the experiment.
     """
 
-    def __init__(self, seed: int = 0, *, max_steps: int = 100_000):
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        max_steps: int = 100_000,
+        schedule: Sequence[str] | None = None,
+        decide: Callable[[int, tuple[str, ...], dict[str, str]], str] | None = None,
+    ):
+        if schedule is not None and decide is not None:
+            raise ValueError("pass either schedule= or decide=, not both")
         self.seed = seed
         self.rng = random.Random(seed)
         self.max_steps = max_steps
+        self._schedule = list(schedule) if schedule is not None else None
+        self._decide = decide
         #: Chronological firing log: ``(step, task_name, point_name)``.
         self.log: list[tuple[int, str, str]] = []
+        #: One :class:`ScheduleChoice` per scheduling decision.
+        self.choices: list[ScheduleChoice] = []
         self.tasks: list[ChaosTask] = []
         self._by_ident: dict[int, ChaosTask] = {}
         self._ready = threading.Semaphore(0)
         self._crash_rules: list[_CrashRule] = []
-        self._hits: dict[tuple[str, str], int] = {}
+        self._hits: dict[tuple[str, str], int] = {}  # (task, point) -> count
+        self._point_hits: dict[str, int] = {}  # point -> count over ALL tasks
+        self._parked: dict[str, str] = {}  # task -> point it is blocked at
         self._ran = False
 
     # -- configuration ---------------------------------------------------
@@ -122,13 +192,46 @@ class ChaosScheduler:
         return task
 
     def crash_at(self, point: str, *, task: str | None = None, hit: int = 1) -> None:
-        """Arm a crash: the ``hit``-th arrival of ``task`` (or anyone) at
-        ``point`` raises :class:`InjectedCrash` there."""
+        """Arm a crash: the ``hit``-th arrival of ``task`` at ``point``
+        raises :class:`InjectedCrash` there.
+
+        With ``task=None`` the rule counts arrivals at ``point`` across
+        *all* tasks, so ``hit=N`` fires on the N-th arrival overall —
+        whichever task that happens to be — not on some single task's
+        N-th visit.
+        """
         self._crash_rules.append(_CrashRule(point, task, hit))
 
     # -- execution -------------------------------------------------------
+    def _pick(self, live: list[ChaosTask]) -> ChaosTask:
+        """Choose the next task per the configured scheduling mode."""
+        step = len(self.choices)
+        if self._decide is not None:
+            name = self._decide(
+                step, tuple(t.name for t in live), dict(self._parked)
+            )
+            by_name = {t.name: t for t in live}
+            if name not in by_name:
+                raise PrescribedScheduleError(
+                    f"decision callback chose {name!r} at step {step}, "
+                    f"but live tasks are {sorted(by_name)}"
+                )
+            return by_name[name]
+        if self._schedule is not None:
+            if step < len(self._schedule):
+                name = self._schedule[step]
+                by_name = {t.name: t for t in live}
+                if name not in by_name:
+                    raise PrescribedScheduleError(
+                        f"prescribed schedule names {name!r} at step {step}, "
+                        f"but live tasks are {sorted(by_name)}"
+                    )
+                return by_name[name]
+            return live[0]  # past the prescription: deterministic tail
+        return live[0] if len(live) == 1 else self.rng.choice(live)
+
     def run(self) -> None:
-        """Step all tasks to completion under the seeded schedule."""
+        """Step all tasks to completion under the configured schedule."""
         from repro import chaos
 
         if self._ran:
@@ -151,17 +254,30 @@ class ChaosScheduler:
                         f"chaos schedule exceeded {self.max_steps} steps "
                         f"(seed={self.seed}): livelock in the scheduled tasks?"
                     )
-                nxt = live[0] if len(live) == 1 else self.rng.choice(live)
+                nxt = self._pick(live)
+                choice = ScheduleChoice(
+                    len(self.choices), tuple(t.name for t in live), nxt.name
+                )
+                before = len(self.log)
                 nxt.go.release()
                 self._ready.acquire()
+                if len(self.log) > before:
+                    choice.arrival = self.log[-1][2]
+                self.choices.append(choice)
             for task in self.tasks:
                 assert task.thread is not None
                 task.thread.join()
         finally:
             chaos._uninstall(self)
-        for task in self.tasks:
-            if task.error is not None:
-                raise task.error
+        errors = [t.error for t in self.tasks if t.error is not None]
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            # BaseExceptionGroup specialises to ExceptionGroup when every
+            # member is an Exception; either way no task failure is lost.
+            raise BaseExceptionGroup(
+                f"{len(errors)} chaos tasks failed", errors
+            )
 
     def _body(self, task: ChaosTask) -> None:
         self._by_ident[threading.get_ident()] = task
@@ -188,14 +304,20 @@ class ChaosScheduler:
         if task is None:
             return  # not one of ours (e.g. a background pytest thread)
         self.log.append((len(self.log), task.name, point))
+        self._parked[task.name] = point
         key = (task.name, point)
-        count = self._hits.get(key, 0) + 1
-        self._hits[key] = count
+        per_task = self._hits.get(key, 0) + 1
+        self._hits[key] = per_task
+        overall = self._point_hits.get(point, 0) + 1
+        self._point_hits[point] = overall
         for rule in self._crash_rules:
             if rule.fired or rule.point != point:
                 continue
             if rule.task is not None and rule.task != task.name:
                 continue
+            # Any-task rules count arrivals at the point globally; task-
+            # pinned rules count that task's own visits.
+            count = overall if rule.task is None else per_task
             if count == rule.hit:
                 rule.fired = True
                 active_tracer().injected_faults += 1
@@ -205,6 +327,7 @@ class ChaosScheduler:
                         "point": point,
                         "task": task.name,
                         "seed": self.seed,
+                        "schedule": self.schedule_id(),
                         "step": len(self.log) - 1,
                     }
                     rec.record("crash", point, context)
@@ -221,6 +344,22 @@ class ChaosScheduler:
         for step, task, point in self.log:
             h.update(f"{step}:{task}:{point};".encode())
         return h.hexdigest()[:16]
+
+    def schedule_id(self) -> str:
+        """Stable identifier of how this schedule was (or is being) chosen.
+
+        ``seed:<n>`` for seeded runs; ``schedule:<digest>`` for
+        prescribed / callback-driven runs, where the digest covers the
+        decisions made so far — a postmortem dumped mid-run therefore
+        names the exact prefix that led to it.
+        """
+        if self._schedule is None and self._decide is None:
+            return f"seed:{self.seed}"
+        h = hashlib.sha256()
+        for choice in self.choices:
+            h.update(choice.chosen.encode())
+            h.update(b";")
+        return f"schedule:{h.hexdigest()[:16]}"
 
     def crashed_tasks(self) -> list[str]:
         return [t.name for t in self.tasks if t.crashed]

@@ -41,9 +41,17 @@ class EpochManager:
     """Three-epoch deferred reclamation.
 
     Writers retire objects into the current epoch's limbo list; a retired
-    object's ``free()`` callback runs only after the global epoch has
-    advanced twice, guaranteeing that no thread that could have observed
-    the object is still active.
+    object's ``free()`` callback runs at the advance that moves the
+    global epoch two past the retiring epoch (retired at *e*, freed
+    entering *e+2*).  That is the earliest safe moment: the advance into
+    *e+1* may still run while a reader pinned at *e* (which could hold a
+    reference) is active, but the advance into *e+2* requires every
+    active thread to have entered at *e+1* or later — after the retire.
+
+    Concretely, an object retired at epoch *e* lives in limbo slot
+    ``e % 3``; the advance that sets the epoch to *e+2* frees slot
+    ``(e+2+1) % 3 == e % 3``, so each slot is emptied exactly one epoch
+    before new retirees reuse it.
     """
 
     def __init__(self) -> None:
@@ -79,8 +87,8 @@ class EpochManager:
     def try_advance(self) -> bool:
         """Advance the epoch if every active thread has caught up.
 
-        Returns True if the epoch advanced (and the oldest limbo list was
-        reclaimed).
+        Returns True if the epoch advanced (and the oldest limbo list —
+        objects retired two epochs before the new epoch — was reclaimed).
         """
         chaos.point("epoch.advance")
         prof = current_profile()
@@ -91,11 +99,16 @@ class EpochManager:
                 if any(e < self._epoch for e in self._active.values()):
                     return False
                 self._epoch += 1
-                oldest = self._limbo[self._epoch % 3]
-                self._limbo[self._epoch % 3] = []
+                # Slot (epoch+1) % 3 holds objects retired at epoch-2:
+                # (epoch-2) % 3 == (epoch+1) % 3.  Freeing the new
+                # epoch's own slot instead (the old behaviour) delayed
+                # every free by one extra advance.
+                oldest = self._limbo[(self._epoch + 1) % 3]
+                self._limbo[(self._epoch + 1) % 3] = []
             for free in oldest:
                 free()
-            self.reclaimed += len(oldest)
+            with self._lock:
+                self.reclaimed += len(oldest)
             obs_metrics.inc("epoch.advances")
             if oldest:
                 obs_metrics.inc("epoch.reclaimed", len(oldest))
@@ -130,12 +143,13 @@ class EpochManager:
         for _ in range(3):
             with self._lock:
                 self._epoch += 1
-                batch = self._limbo[self._epoch % 3]
-                self._limbo[self._epoch % 3] = []
+                batch = self._limbo[(self._epoch + 1) % 3]
+                self._limbo[(self._epoch + 1) % 3] = []
             for free in batch:
                 free()
             freed += len(batch)
-        self.reclaimed += freed
+        with self._lock:
+            self.reclaimed += freed
         if freed:
             obs_metrics.inc("epoch.reclaimed", freed)
         if prof is not None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import chaos
 from repro.obs import metrics as obs_metrics
@@ -78,6 +78,8 @@ class BoundedRetry:
     backoff_factor     multiplier per retry past the spin budget
     backoff_max_s      backoff ceiling
     jitter             uniform multiplicative jitter, ``sleep *= 1+U(0,jitter)``
+    rng                jitter entropy source; pass ``random.Random(seed)`` for
+                       reproducible backoff timing across benchmark runs
     =================  =========================================================
     """
 
@@ -88,6 +90,9 @@ class BoundedRetry:
     backoff_factor: float = 2.0
     backoff_max_s: float = 1e-3
     jitter: float = 0.5
+    rng: random.Random = field(
+        default_factory=random.Random, repr=False, compare=False
+    )
 
     def begin(self, site: str) -> "RetryState":
         """Fresh per-operation retry state for loops at ``site``."""
@@ -159,7 +164,7 @@ class RetryState:
                 policy.backoff_base_s * policy.backoff_factor ** (exp - 1),
                 policy.backoff_max_s,
             )
-            time.sleep(delay * (1.0 + random.random() * policy.jitter))
+            time.sleep(delay * (1.0 + policy.rng.random() * policy.jitter))
         finally:
             if prof is not None:
                 prof.exit()

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import chaos
 from repro.core.learned_layer import EMPTY, FULL, TOMBSTONE, GPLModel, LearnedLayer
 from repro.obs import metrics as obs_metrics
 from repro.sim.trace import MemoryMap
@@ -53,6 +54,7 @@ class ExpansionBuffer:
         buffer (it goes to the ART-OPT layer) and returns True when the
         spilled key was new there.  Returns True when ``key`` was new.
         """
+        chaos.point("retrain.absorb")
         old = self.old
         old_slot = old.slot_of(key)
         state, resident, resident_val = old.read_slot(old_slot)
@@ -123,6 +125,7 @@ class ExpansionBuffer:
     def finish(self, spill: SpillFn) -> GPLModel:
         """Migrate the old model's remaining keys and return the new model."""
         for key, value in self.old.iter_slots():
+            chaos.point("retrain.migrate")
             slot = self.buffer.slot_of(key)
             state, resident, _ = self.buffer.read_slot(slot)
             if state == FULL:
@@ -154,6 +157,10 @@ def finish_expansion(layer: LearnedLayer, index: int, spill: SpillFn) -> GPLMode
     model = layer.models[index]
     assert model.expansion is not None
     new_model = model.expansion.finish(spill)
+    # The migrate-then-swap order is the §III-F handoff invariant: a
+    # concurrent reader must find every key in the old model (pre-swap)
+    # or the new one (post-swap), never neither.
+    chaos.point("retrain.swap")
     model.expansion = None
     layer.replace_model(index, new_model)
     obs_metrics.inc("retrain.finished")

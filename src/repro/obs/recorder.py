@@ -103,9 +103,14 @@ class FlightRecorder:
             return out
 
     def snapshot(self, reason: str, context: dict | None = None) -> dict:
-        """A self-contained postmortem document for the current rings."""
+        """A self-contained postmortem document for the current rings.
+
+        When a chaos scheduler is driving the process, the document also
+        carries its schedule id (``seed:<n>`` or ``schedule:<digest>``)
+        so the postmortem names the exact interleaving that produced it.
+        """
         threads = self.threads()
-        return {
+        doc = {
             "schema": SCHEMA,
             "reason": reason,
             "context": context or {},
@@ -113,6 +118,12 @@ class FlightRecorder:
             "threads": threads,
             "fingerprint": fingerprint_events(threads),
         }
+        from repro import chaos  # deferred: chaos imports this module
+
+        sched = chaos.active_scheduler()
+        if sched is not None:
+            doc["schedule"] = sched.schedule_id()
+        return doc
 
     def auto_dump(self, reason: str, context: dict | None = None) -> dict:
         """Freeze a postmortem; write it to ``dump_dir`` when configured."""

@@ -90,6 +90,10 @@ CHAOS_SPAN_MAP: dict[str, str] = {
     # ALT maintenance paths
     "alt.writeback": "alt.writeback",
     "alt.recover": "alt.recover",
+    # retrain / expansion handoff (§III-F absorb -> migrate -> swap)
+    "retrain.absorb": "alt.retrain",
+    "retrain.migrate": "alt.retrain",
+    "retrain.swap": "alt.retrain",
 }
 
 #: Point families with no span by design.  ``planted.*`` points exist
@@ -112,6 +116,10 @@ METRIC_TAXONOMY: dict[str, str] = {
     "epoch.retired": "objects handed to the limbo lists",
     "epoch.advances": "successful global epoch advances",
     "epoch.reclaimed": "retired objects whose free callbacks ran",
+    # -- systematic schedule exploration (repro.chaos.dpor) --------------
+    "dpor.executions": "complete schedules executed by the DPOR explorer",
+    "dpor.pruned": "schedule branches skipped by sleep-set pruning",
+    "dpor.violations": "linearizability violations found during exploration",
     # -- retrain / expansion pipeline ------------------------------------
     "retrain.started": "expansion buffers opened on crowded models",
     "retrain.finished": "expansion buffers swapped in as new models",

@@ -8,12 +8,16 @@ The observability layer only works if its two name spaces stay closed:
    breakdown tables and docs know nothing about.
 2. **Every registered span is used.**  A taxonomy entry no source file
    references is documentation drift.
-3. **Every chaos point is attributable.**  Each
-   ``chaos.point("...")`` literal must map to a covering span in
+3. **Every chaos point is attributable, and every mapping is live.**
+   Each ``chaos.point("...")`` literal must map to a covering span in
    :data:`~repro.obs.taxonomy.CHAOS_SPAN_MAP` or be explicitly exempt
    (:data:`~repro.obs.taxonomy.CHAOS_EXEMPT_PREFIXES`) — otherwise an
    interleaving point exists whose cost cannot be attributed to any
-   layer.  Non-literal point names are only legal in files listed in
+   layer.  Conversely a ``CHAOS_SPAN_MAP`` entry no scanned source
+   fires is drift — the DPOR explorer's independence heuristic
+   (:func:`repro.chaos.dpor.span_footprint`) trusts this map, so stale
+   entries would silently weaken systematic exploration.  Non-literal
+   point names are only legal in files listed in
    :data:`~repro.obs.taxonomy.NON_LITERAL_POINT_ALLOWLIST`.
 4. **Every metric literal is registered** (and vice versa).  An
    ``inc``/``set_gauge``/``observe``/``observe_many`` call under an
@@ -178,7 +182,9 @@ def check_source(
                 f"{filename}:{lineno}: metric name {name!r} is not "
                 "registered in repro.obs.taxonomy.METRIC_TAXONOMY"
             )
-    used = _string_literals(tree) & (set(SPAN_TAXONOMY) | set(METRIC_TAXONOMY))
+    used = _string_literals(tree) & (
+        set(SPAN_TAXONOMY) | set(METRIC_TAXONOMY) | set(CHAOS_SPAN_MAP)
+    )
     return failures, used
 
 
@@ -225,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"metric {name!r} is registered in METRIC_TAXONOMY but no "
                 "scanned source references it"
+            )
+        for name in sorted(set(CHAOS_SPAN_MAP) - used):
+            failures.append(
+                f"chaos point {name!r} is mapped in CHAOS_SPAN_MAP but no "
+                "scanned source fires it"
             )
     if failures:
         print("\n".join(failures), file=sys.stderr)

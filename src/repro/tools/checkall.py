@@ -1,0 +1,54 @@
+"""Aggregate static-check runner: ``python -m repro.tools.checkall``.
+
+One command for everything CI (and tier-1) gates on from
+:mod:`repro.tools`:
+
+- :mod:`repro.tools.check_docs` — every backticked ``repro.*`` name and
+  ``python -m repro.*`` invocation in the docs resolves against the
+  live package;
+- :mod:`repro.tools.check_spins` — no unbounded spin loops in the
+  protocol files;
+- :mod:`repro.tools.check_spans` — the span / chaos-point / metric
+  taxonomies are closed in both directions.
+
+Each sub-check runs even when an earlier one fails, so a single pass
+reports every category of drift at once.  Exit status is 0 only when
+all of them pass.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.checkall
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.tools import check_docs, check_spans, check_spins
+
+#: The sub-checks in run order: (name, main-style callable).
+CHECKS = (
+    ("check_docs", check_docs.main),
+    ("check_spins", check_spins.main),
+    ("check_spans", check_spans.main),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv:
+        print(f"checkall takes no arguments (got {argv!r})", file=sys.stderr)
+        return 2
+    failed: list[str] = []
+    for name, run in CHECKS:
+        print(f"== {name} ==")
+        if run([]) != 0:
+            failed.append(name)
+    if failed:
+        print(f"checkall: FAILED ({', '.join(failed)})", file=sys.stderr)
+        return 1
+    print(f"checkall: all {len(CHECKS)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,6 +107,38 @@ class TestCrashInjection:
         with pytest.raises(ZeroDivisionError):
             sched.run()
 
+    def test_multiple_task_errors_aggregate_into_group(self):
+        # One failing task re-raises bare (above); several must surface
+        # *together* — previously only the first spawned task's error
+        # escaped run() and the rest were silently dropped.
+        sched = ChaosScheduler(seed=0)
+        sched.spawn("boom-a", lambda: 1 / 0)
+        sched.spawn("boom-b", lambda: [][1])
+        with pytest.raises(ExceptionGroup) as ei:
+            sched.run()
+        assert {type(e) for e in ei.value.exceptions} == {
+            ZeroDivisionError,
+            IndexError,
+        }
+
+    def test_any_task_crash_rule_counts_arrivals_globally(self):
+        # crash_at(point, hit=2) with no task pinned must fire on the
+        # second arrival at the point *overall* — here w2's first visit —
+        # not wait for some single task to visit twice.
+        order = []
+
+        def worker(name):
+            chaos.point("planted.chaos.hit")
+            order.append(name)
+
+        sched = ChaosScheduler(schedule=["w1", "w2", "w1"])
+        sched.spawn("w1", lambda: worker("w1"))
+        sched.spawn("w2", lambda: worker("w2"))
+        sched.crash_at("planted.chaos.hit", hit=2)
+        sched.run()
+        assert sched.crashed_tasks() == ["w2"]
+        assert order == ["w1"]
+
 
 class TestPointPlumbing:
     def test_point_is_noop_without_scheduler(self):
@@ -135,3 +167,23 @@ class TestPointPlumbing:
         sched.spawn("a", lambda: 41 + 1)
         sched.run()
         assert sched.results() == {"a": 42}
+
+
+class TestRetrainSchedule:
+    """Seeded schedules over the §III-F expansion handoff."""
+
+    def test_clean_handoff_linearizable_across_seeds(self):
+        from repro.chaos import protocols
+
+        for seed in range(6):
+            report = protocols.run_retrain_schedule(seed)
+            assert report.ok, f"seed={seed}: {report.check.reason}"
+
+    def test_planted_swap_before_migrate_detected_and_replayable(self):
+        from repro.chaos import protocols
+
+        report = protocols.find_violating_seed("retrain", range(64))
+        assert report is not None, "planted handoff hole never hit"
+        replay = protocols.run_retrain_schedule(report.seed, planted=True)
+        assert not replay.ok
+        assert replay.fingerprint == report.fingerprint

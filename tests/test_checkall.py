@@ -1,0 +1,21 @@
+"""The aggregate static-check gate (repro.tools.checkall) stays green.
+
+Running it in tier-1 means every PR is held to all three static checks
+at once — docs references, bounded spins, closed span/metric/chaos-point
+taxonomies — through a single entry point.
+"""
+
+from repro.tools import checkall
+
+
+def test_all_checks_pass(capsys):
+    assert checkall.main([]) == 0
+    out = capsys.readouterr().out
+    assert "checkall: all 3 checks passed" in out
+    for name, _run in checkall.CHECKS:
+        assert f"== {name} ==" in out
+
+
+def test_arguments_are_rejected(capsys):
+    assert checkall.main(["--oops"]) == 2
+    assert "takes no arguments" in capsys.readouterr().err

@@ -209,3 +209,37 @@ class TestEpochManager:
         em.try_advance()
         em.try_advance()
         assert freed == ["x"]
+
+    def test_free_runs_entering_e_plus_2_exactly(self):
+        # Retired at epoch e, freed at the advance *into* e+2 — one
+        # advance is too early (a reader pinned at e may still hold a
+        # reference), and waiting for a third needlessly inflates the
+        # modeled memory footprint.
+        em = EpochManager()
+        freed = []
+        em.retire(lambda: freed.append("x"))
+        assert em.try_advance()
+        assert freed == []
+        assert em.try_advance()
+        assert freed == ["x"]
+        assert em.reclaimed == 1
+
+    def test_reclaimed_counter_consistent_under_concurrent_advances(self):
+        # The counter update is a read-modify-write: unsynchronized it
+        # loses increments when several threads advance at once.
+        em = EpochManager()
+        per_thread, n_threads = 50, 4
+
+        def worker():
+            for _ in range(per_thread):
+                em.retire(lambda: None)
+                em.try_advance()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        em.drain()
+        assert em.reclaimed == per_thread * n_threads
+        assert em.pending() == 0

@@ -1,5 +1,6 @@
 """BoundedRetry: budgets, backoff, fallback accounting, no livelock."""
 
+import random
 import threading
 import time
 
@@ -76,6 +77,46 @@ class TestBoundedRetry:
     def test_default_policy_is_shared_frozen(self):
         with pytest.raises(Exception):
             DEFAULT_RETRY.max_retries = 1
+
+    def test_seeded_rng_reproduces_jitter(self, monkeypatch):
+        # Backoff jitter draws from the policy's own RNG, so two policies
+        # seeded identically sleep for identical durations.
+        def delays(seed: int) -> list[float]:
+            policy = BoundedRetry(
+                spin_budget=0, backoff_base_s=1e-3, backoff_factor=2.0,
+                backoff_max_s=1.0, jitter=0.5, max_retries=50,
+                rng=random.Random(seed),
+            )
+            slept: list[float] = []
+            monkeypatch.setattr(time, "sleep", slept.append)
+            state = policy.begin("test.site")
+            for _ in range(8):
+                state.step()
+            return slept
+
+        assert delays(42) == delays(42)
+        assert delays(42) != delays(43)
+
+    def test_jitter_is_independent_of_global_random_state(self, monkeypatch):
+        # Previously jitter came from the module-global random — reseeding
+        # it between runs changed retry timing behind the caller's back.
+        slept: list[float] = []
+        monkeypatch.setattr(time, "sleep", slept.append)
+
+        def run(global_seed: int) -> list[float]:
+            random.seed(global_seed)
+            policy = BoundedRetry(
+                spin_budget=0, backoff_base_s=1e-3, backoff_factor=2.0,
+                backoff_max_s=1.0, jitter=0.5, max_retries=50,
+                rng=random.Random(7),
+            )
+            slept.clear()
+            state = policy.begin("test.site")
+            for _ in range(5):
+                state.step()
+            return list(slept)
+
+        assert run(1) == run(2)
 
     def test_backoff_delay_is_capped(self):
         policy = BoundedRetry(
