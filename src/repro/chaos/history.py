@@ -87,6 +87,38 @@ class HistoryRecorder:
         rec.responded = self._tick()
         return rec.result
 
+    def call_batch(self, task: str, op: str, keys, fn: Callable[[], list]):
+        """Record one batch call as per-key operations.
+
+        ``fn()`` executes the whole batch and returns per-key results in
+        key order.  Every key gets its own :class:`OpRecord`, all
+        invoked before the batch runs and responded after it returns —
+        so each per-key operation is logically concurrent with the full
+        batch window, which is exactly how a scatter-gather batch
+        overlaps other tasks' operations.  A crash (any exception) marks
+        every record pending-forever, mirroring :meth:`call`.
+        """
+        records = [
+            OpRecord(task=task, op=op, key=int(k), invoked=self._tick())
+            for k in keys
+        ]
+        with self._lock:
+            self.ops.extend(records)
+        try:
+            results = fn()
+        except BaseException:
+            for r in records:
+                r.crashed = True
+            raise
+        if len(results) != len(records):
+            raise ValueError(
+                f"batch returned {len(results)} results for {len(records)} keys"
+            )
+        for r, res in zip(records, results):
+            r.result = res
+            r.responded = self._tick()
+        return results
+
 
 # -- sequential oracle ---------------------------------------------------
 

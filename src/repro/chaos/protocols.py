@@ -28,6 +28,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro import chaos
 from repro.art.tree import AdaptiveRadixTree
 from repro.chaos.history import CheckResult, HistoryRecorder, OpRecord, check_linearizable
@@ -39,7 +41,9 @@ from repro.core.alt_index import ALTIndex
 from repro.core.learned_layer import FULL, GPLModel
 from repro.core.retrain import ExpansionBuffer
 from repro.obs import recorder as obs_recorder
-from repro.sim.trace import global_memory
+from repro.shard.partitioner import RangePartitioner
+from repro.shard.sharded import ShardedALTIndex
+from repro.sim.trace import global_memory, tracer
 
 
 @dataclass
@@ -692,6 +696,153 @@ def run_retrain_schedule(seed: int, planted: bool = False) -> ScheduleReport:
     return _run_case(build_retrain_case(planted), seed)
 
 
+# ----------------------------------------------------------------------
+# Sharded serving layer: cross-shard batch_get vs. per-shard writers
+# ----------------------------------------------------------------------
+
+
+def _build_shard_index() -> ShardedALTIndex:
+    """Two ALT shards behind an explicit split at 999.
+
+    Keys 100/163 land in shard 0, 1100/1163 in shard 1 — every batch
+    over ``(100, 163, 1100)`` is genuinely cross-shard, so the router's
+    ``shard.route`` / ``shard.scatter`` / ``shard.gather`` points all
+    fire inside a window that racing writers can interleave into.
+    """
+    return ShardedALTIndex.bulk_load(
+        np.array([100, 163, 1100, 1163], dtype=np.uint64),
+        ["v100", "v163", "v1100", "v1163"],
+        partitioner=RangePartitioner(np.array([999], dtype=np.uint64)),
+        fast_pointers=False,
+        retraining=False,
+        tag="chaos/shard",
+    )
+
+
+_SHARD_INIT = {100: "v100", 163: "v163", 1100: "v1100", 1163: "v1163"}
+
+
+def build_shard_case(
+    planted: bool = False,
+    *,
+    writers: int = 2,
+    writer_reps: int = 2,
+    batches: int = 2,
+    batch_keys: tuple[int, ...] = (100, 163, 1100),
+) -> ProtocolCase:
+    """Per-shard writers race a cross-shard ``batch_get`` scatter-gather.
+
+    The clean variant runs the real router: the batcher issues
+    ``batch_get`` over keys spanning both shards under an ambient
+    :func:`~repro.sim.trace.tracer` (which makes each shard take its
+    writer-safe scalar path), recorded per-key via
+    :meth:`~repro.chaos.history.HistoryRecorder.call_batch`; two writers
+    blind-write and remove/insert keys on their own shards through the
+    router's point API.  Every per-key batch result must linearize
+    somewhere inside the batch window.
+
+    The planted mutant re-implements the gather with a *shared* scratch
+    table keyed by shard id — two concurrent batchers overwrite each
+    other's sub-batch results in the ``planted.shard.gather`` window, so
+    one batcher can return shard-mate B's value for A's key (a torn
+    cross-batch gather the map oracle flags).
+    """
+    idx = _build_shard_index()
+    rec = HistoryRecorder()
+
+    if planted:
+        scratch: dict[int, list] = {}
+
+        def planted_batch(keys: tuple[int, ...]) -> list:
+            arr = np.array(keys, dtype=np.uint64)
+            parts = idx.scatter(arr)
+            for s, _pos, sub in parts:
+                # The bug: sub-batch results parked in a table shared by
+                # every batcher, with an interleaving window before the
+                # gather reads them back.
+                scratch[s] = idx.shards[s].batch_get(sub)
+                chaos.point("planted.shard.gather")
+            out: list = [None] * len(arr)
+            for s, pos, _sub in parts:
+                vals = scratch.get(s) or []
+                for j, i in enumerate(pos.tolist()):
+                    out[i] = vals[j] if j < len(vals) else None
+            return out
+
+        def batcher(task: str, keys: tuple[int, ...]) -> None:
+            for _ in range(batches):
+                rec.call_batch(task, "get", keys, lambda: planted_batch(keys))
+
+        tasks: list[tuple[str, Callable[[], None]]] = [
+            ("batcher-a", lambda: batcher("batcher-a", (100, 1100))),
+            ("batcher-b", lambda: batcher("batcher-b", (163, 1163))),
+        ]
+        return ProtocolCase(
+            protocol="shard",
+            planted=True,
+            tasks=tasks,
+            rec=rec,
+            check=lambda: check_linearizable(rec.ops, init=dict(_SHARD_INIT)),
+            snapshot=lambda: tuple(idx.get(k) for k in sorted(_SHARD_INIT)),
+        )
+
+    def batch() -> list:
+        arr = np.array(batch_keys, dtype=np.uint64)
+        # The ambient tracer forces each shard's batch_get onto its
+        # scalar seqlock path — the vectorized probe is snapshot-based
+        # and only safe without concurrent writers (see BatchIndex).
+        with tracer():
+            return idx.batch_get(arr)
+
+    def batcher(task: str) -> None:
+        for _ in range(batches):
+            rec.call_batch(task, "get", batch_keys, batch)
+
+    def put(task: str, key: int, value: str) -> None:
+        # ALTIndex.insert upserts, so record it as a blind write.
+        rec.call(task, "put", key, lambda: (idx.insert(key, value), None)[1], arg=value)
+
+    def writer_a(task: str) -> None:
+        script = [
+            lambda: put(task, 100, "a1"),
+            lambda: rec.call(task, "remove", 163, lambda: idx.remove(163)),
+        ]
+        for step in script[:writer_reps]:
+            step()
+
+    def writer_b(task: str) -> None:
+        script = [
+            lambda: put(task, 1100, "b1"),
+            lambda: rec.call(
+                task, "insert", 1200, lambda: idx.insert(1200, "b2"), arg="b2"
+            ),
+        ]
+        for step in script[:writer_reps]:
+            step()
+
+    tasks = [
+        (name, fn)
+        for name, fn in (
+            ("writer-a", lambda: writer_a("writer-a")),
+            ("writer-b", lambda: writer_b("writer-b")),
+        )[:writers]
+    ]
+    tasks.append(("batcher", lambda: batcher("batcher")))
+    return ProtocolCase(
+        protocol="shard",
+        planted=False,
+        tasks=tasks,
+        rec=rec,
+        check=lambda: check_linearizable(rec.ops, init=dict(_SHARD_INIT)),
+        snapshot=lambda: tuple(idx.get(k) for k in (100, 163, 1100, 1163, 1200)),
+    )
+
+
+def run_shard_batch_schedule(seed: int, planted: bool = False) -> ScheduleReport:
+    """Seeded schedule over :func:`build_shard_case`."""
+    return _run_case(build_shard_case(planted), seed)
+
+
 RUNNERS = {
     "gpl": run_gpl_schedule,
     "spinlock": run_spinlock_schedule,
@@ -699,6 +850,7 @@ RUNNERS = {
     "epoch": run_epoch_schedule,
     "writeback": run_writeback_schedule,
     "retrain": run_retrain_schedule,
+    "shard": run_shard_batch_schedule,
 }
 
 #: Small case factories for systematic exploration, per protocol:
@@ -736,6 +888,15 @@ EXHAUSTIVE_CASES: dict[str, tuple[Callable[[], ProtocolCase], Callable[[], Proto
     "retrain": (
         lambda: build_retrain_case(False, inserts=(), reader_reps=1),
         lambda: build_retrain_case(True, inserts=(), reader_reps=1),
+    ),
+    "shard": (
+        # One single-op writer vs. one two-key cross-shard batch keeps
+        # the clean schedule tree enumerable; the planted mutant needs
+        # both batchers, which is already its minimum shape.
+        lambda: build_shard_case(
+            False, writers=1, writer_reps=1, batches=1, batch_keys=(100, 1100)
+        ),
+        lambda: build_shard_case(True, batches=1),
     ),
 }
 

@@ -42,6 +42,10 @@ SPAN_TAXONOMY: dict[str, str] = {
     "alt.batch_probe": "whole-batch learned-layer probe: snapshot searchsorted + slot predict",
     "alt.batch_place": "columnwise placement/clearing of batch keys in GPL slots",
     "alt.batch_conflict": "batched conflict routing: sorted one-pass ART bulk insert/remove",
+    # -- sharded serving layer (repro.shard) ------------------------------
+    "shard.route": "partitioner routing: key(s) -> shard id(s)",
+    "shard.scatter": "splitting a batch into per-shard sub-batches",
+    "shard.gather": "order-preserving gather of per-shard batch results",
     # -- shared concurrency machinery ------------------------------------
     "retry.backoff": "bounded-retry spin/backoff while a protocol step is contended",
     "retry.fallback": "pessimistic fallback after the optimistic budget is spent",
@@ -94,6 +98,10 @@ CHAOS_SPAN_MAP: dict[str, str] = {
     "retrain.absorb": "alt.retrain",
     "retrain.migrate": "alt.retrain",
     "retrain.swap": "alt.retrain",
+    # sharded serving layer: the router's cross-shard windows
+    "shard.route": "shard.route",
+    "shard.scatter": "shard.scatter",
+    "shard.gather": "shard.gather",
 }
 
 #: Point families with no span by design.  ``planted.*`` points exist
@@ -136,6 +144,14 @@ METRIC_TAXONOMY: dict[str, str] = {
     "alt.learned_fraction": "gauge: fraction of keys resident in GPL slots",
     "alt.memory_bytes": "gauge: modeled footprint of the index",
     "alt.art_keys": "gauge: keys currently spilled to the ART layer",
+    # -- sharded serving layer (repro.shard) -----------------------------
+    "shard.batch_ops": "scatter-gather batches executed by the serving layer",
+    "shard.cross_shard_batches": "batches whose keys spanned more than one shard",
+    "shard.routed_keys": "keys routed through the vectorized partitioner",
+    "shard.lane_pumps": "maintenance passes run by per-shard lanes",
+    "shard.lane_expansions": "expansions finished by shard maintenance lanes",
+    "shard.count": "gauge: shards behind the serving layer",
+    "shard.imbalance": "gauge: max shard keys / mean shard keys (1.0 = balanced)",
     # -- health telemetry (repro.obs.health) -----------------------------
     "health.samples": "health snapshots taken by the sampling monitor",
     "health.gpl_occupancy": "gauge: live slots / total slots across models",
